@@ -1,0 +1,426 @@
+package msql
+
+// One benchmark per experiment of EXPERIMENTS.md. The comparative tables
+// (sequential vs parallel, hold vs early-release, ...) are printed by
+// cmd/msqlbench; these benchmarks track the cost of each experiment's
+// primary code path with testing.B.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"msql/internal/core"
+	"msql/internal/demo"
+	"msql/internal/experiments"
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/sqlengine"
+)
+
+func mustDemo(b *testing.B, opts demo.Options) *core.Federation {
+	b.Helper()
+	fed, err := demo.Build(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fed
+}
+
+func mustScript(b *testing.B, fed *core.Federation, src string) []*core.Result {
+	b.Helper()
+	results, err := fed.ExecScript(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkE1_MultipleSelect: the Section 2 multiple query end to end
+// (parse, substitution, plan, parallel execution, multitable assembly).
+func BenchmarkE1_MultipleSelect(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, experiments.Section2Query)
+	}
+}
+
+// BenchmarkE2_VitalUpdate: the Section 3.2 vital update, success path
+// (prepare both vital subqueries, then commit).
+func BenchmarkE2_VitalUpdate(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, experiments.Section32Update)
+	}
+}
+
+// BenchmarkE3_Compensation: the Section 3.3 failure path — continental
+// autocommits, united fails, continental is compensated.
+func BenchmarkE3_Compensation(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1, ContinentalAutoCommit: true})
+	fed.Server("svc_unit").Faults().Add(ldbms.FaultRule{
+		Op: ldbms.FaultExec, Database: "united", Sticky: true,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := mustScript(b, fed, experiments.Section33Update)
+		last := results[len(results)-1]
+		if last.State != core.StateAborted {
+			b.Fatalf("state = %s", last.State)
+		}
+	}
+}
+
+// BenchmarkE4_Multitransaction: the travel-agent multitransaction; the
+// reserved seat and car are freed again outside the timer.
+func BenchmarkE4_Multitransaction(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	reset := func() {
+		for _, p := range []struct{ svc, db, sql string }{
+			{"svc_cont", "continental", "UPDATE f838 SET seatstatus = 'FREE', clientname = NULL WHERE clientname = 'wenders'"},
+			{"svc_natl", "national", "UPDATE vehicle SET vstat = 'FREE', client = NULL WHERE client = 'wenders'"},
+		} {
+			sess, err := fed.Server(p.svc).OpenSession(p.db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Exec(p.sql); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			sess.Close()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := mustScript(b, fed, experiments.Section34MultiTx)
+		last := results[len(results)-1]
+		if last.AchievedState == nil {
+			b.Fatalf("multitransaction failed: status %d", last.Status)
+		}
+		b.StopTimer()
+		reset()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE5_Translate: MSQL → DOL plan generation only (the Section 4.3
+// listing), no execution.
+func BenchmarkE5_Translate(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	fed.DryRun = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, experiments.Section32Update)
+	}
+}
+
+// BenchmarkF1_Pipeline: the full Figure 1 pipeline for the vital update.
+func BenchmarkF1_Pipeline(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, experiments.Section32Update)
+	}
+}
+
+// BenchmarkF2_Import: IMPORT DATABASE of a 64-table local conceptual
+// schema into the GDD.
+func BenchmarkF2_Import(b *testing.B) {
+	srv := ldbms.NewServer("svc_big", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("big"); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := srv.OpenSession("big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := sess.Exec(fmt.Sprintf("CREATE TABLE tab%d (id INTEGER, name CHAR(20), val FLOAT)", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	sess.Close()
+
+	fed := core.New()
+	fed.RegisterClient("svc_big", lam.NewLocal(srv))
+	mustScript(b, fed, "INCORPORATE SERVICE svc_big CONNECTMODE CONNECT COMMITMODE NOCOMMIT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, "IMPORT DATABASE big FROM SERVICE svc_big")
+	}
+}
+
+// BenchmarkB1_Parallelism: the fan-out aggregate over 4 databases that the
+// DOL engine runs concurrently (cmd/msqlbench prints the sequential
+// comparison).
+func BenchmarkB1_Parallelism(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("databases=%d", n), func(b *testing.B) {
+			fed := mustDemo(b, demo.Options{Seed: 1, FlightRows: 500})
+			script := "USE continental delta united\nSELECT COUNT(fl%), AVG(rate%) FROM flight% WHERE sour% = 'Houston'"
+			if n == 2 {
+				script = "USE continental delta\nSELECT COUNT(fl%), AVG(rate%) FROM flight% WHERE sour% = 'Houston'"
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustScript(b, fed, script)
+			}
+		})
+	}
+}
+
+// BenchmarkB2_CommitModes: per-update cost by commit protocol over the
+// TCP transport.
+func BenchmarkB2_CommitModes(b *testing.B) {
+	build := func(b *testing.B, p ldbms.Profile) (lam.Session, func()) {
+		srv := ldbms.NewServer("b2", p, 1)
+		if err := srv.CreateDatabase("db"); err != nil {
+			b.Fatal(err)
+		}
+		boot, err := srv.OpenSession("db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		boot.Exec("CREATE TABLE t (id INTEGER, val FLOAT)")
+		boot.Exec("INSERT INTO t VALUES (1, 0.0)")
+		boot.Commit()
+		boot.Close()
+		ts, err := lam.Serve("127.0.0.1:0", srv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := lam.Dial(ts.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := client.Open("db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess, func() { sess.Close(); client.Close(); ts.Close() }
+	}
+	b.Run("autocommit", func(b *testing.B) {
+		sess, cleanup := build(b, ldbms.ProfileAutoCommitOnly())
+		defer cleanup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("twopc", func(b *testing.B) {
+		sess, cleanup := build(b, ldbms.ProfileOracleLike())
+		defer cleanup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Prepare(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkB3_EarlyRelease: one update+commit cycle in each mode on a hot
+// row (the contention comparison is in cmd/msqlbench).
+func BenchmarkB3_EarlyRelease(b *testing.B) {
+	srv := ldbms.NewServer("b3", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("db"); err != nil {
+		b.Fatal(err)
+	}
+	boot, err := srv.OpenSession("db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	boot.Exec("CREATE TABLE hot (id INTEGER, val FLOAT)")
+	boot.Exec("INSERT INTO hot VALUES (1, 0.0)")
+	boot.Commit()
+	boot.Close()
+	sess, err := srv.OpenSession("db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+
+	b.Run("hold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess.Exec("UPDATE hot SET val = val + 1 WHERE id = 1")
+			sess.Prepare()
+			sess.Commit()
+		}
+	})
+	b.Run("early", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess.Exec("UPDATE hot SET val = val + 1 WHERE id = 1")
+			sess.Commit()
+		}
+	})
+}
+
+// BenchmarkB4_Substitution: multiple identifier expansion and plan
+// generation for a pattern query over three databases.
+func BenchmarkB4_Substitution(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1})
+	fed.DryRun = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, "USE continental delta united\nSELECT COUNT(day) FROM flight%")
+	}
+}
+
+// BenchmarkB5_Transport: exec round trip, in-process vs TCP.
+func BenchmarkB5_Transport(b *testing.B) {
+	srv := ldbms.NewServer("b5", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("db"); err != nil {
+		b.Fatal(err)
+	}
+	boot, err := srv.OpenSession("db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	boot.Exec("CREATE TABLE t (id INTEGER)")
+	boot.Exec("INSERT INTO t VALUES (1), (2), (3)")
+	boot.Commit()
+	boot.Close()
+
+	b.Run("inprocess", func(b *testing.B) {
+		sess, err := lam.NewLocal(srv).Open("db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("SELECT id FROM t"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		ts, err := lam.Serve("127.0.0.1:0", srv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ts.Close()
+		client, err := lam.Dial(ts.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		sess, err := client.Open("db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("SELECT id FROM t"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkB6_CrossJoin: the decomposed cross-database join with shipping
+// to the coordinator.
+func BenchmarkB6_CrossJoin(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1, FlightRows: 200})
+	script := `USE continental united
+SELECT COUNT(c.flnu) AS n FROM continental.flights c, united.flight u WHERE c.rate < u.rates`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustScript(b, fed, script)
+	}
+}
+
+// BenchmarkB7_Consistency: the same multiple update at each consistency
+// level (no VITAL / vital 2PC / compensated).
+func BenchmarkB7_Consistency(b *testing.B) {
+	variants := []struct {
+		name, script string
+		contAuto     bool
+	}{
+		{"nonvital", "USE continental delta united\nUPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'", false},
+		{"vital2pc", experiments.Section32Update, false},
+		{"compensated", experiments.Section33Update, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			fed := mustDemo(b, demo.Options{Seed: 1, ContinentalAutoCommit: v.contAuto})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustScript(b, fed, v.script)
+			}
+		})
+	}
+}
+
+// BenchmarkB8_SyncGranularity: four vital updates per iteration, synced
+// per statement vs once.
+func BenchmarkB8_SyncGranularity(b *testing.B) {
+	perStatement := "USE avis VITAL\n"
+	oneUnit := "USE avis VITAL\n"
+	for i := 0; i < 4; i++ {
+		perStatement += "UPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT\n"
+		oneUnit += "UPDATE cars SET rate = rate + 1 WHERE code = 1\n"
+	}
+	oneUnit += "COMMIT\n"
+	for _, v := range []struct{ name, script string }{
+		{"per-statement", perStatement},
+		{"one-unit", oneUnit},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			fed := mustDemo(b, demo.Options{Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustScript(b, fed, v.script)
+			}
+		})
+	}
+}
+
+// BenchmarkB9_JoinOptimization: the cross-database equi-join at the
+// coordinator with and without the hash-join optimization.
+func BenchmarkB9_JoinOptimization(b *testing.B) {
+	fed := mustDemo(b, demo.Options{Seed: 1, FlightRows: 150})
+	script := `USE continental united
+SELECT COUNT(c.flnu) AS n FROM continental.flights c, united.flight u WHERE c.flnu = u.fn`
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"hashjoin", false}, {"nestedloop", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sqlengine.DisableJoinOptimization = mode.disable
+			defer func() { sqlengine.DisableJoinOptimization = false }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustScript(b, fed, script)
+			}
+		})
+	}
+}
+
+// BenchmarkB3_Contention runs the contended early-release experiment (2
+// workers, hot row, simulated global-transaction delay) once per
+// iteration, in compensation mode.
+func BenchmarkB3_Contention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.B3EarlyRelease(2, 2, 200*time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

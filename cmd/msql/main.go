@@ -1,0 +1,335 @@
+// Command msql is the interactive shell and script runner for the
+// extended multidatabase SQL implementation. It starts the demo
+// federation of the paper's appendix (five databases on five simulated
+// heterogeneous services) and executes MSQL statements against it.
+//
+// Usage:
+//
+//	msql                 # interactive shell on the demo federation
+//	msql -f script.msql  # run a script
+//	msql -e "USE avis national" -e "SELECT %code FROM car%"
+//	msql -autocommit-cont # continental on an autocommit-only service
+//
+// In the shell, terminate statements with ';' or an empty line. The
+// commands .dol on/.dol off toggle echoing the generated DOL programs,
+// and .quit exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"msql/internal/core"
+	"msql/internal/demo"
+	"msql/internal/dol"
+)
+
+func main() {
+	var (
+		file     = flag.String("f", "", "MSQL script file to run")
+		autoCont = flag.Bool("autocommit-cont", false, "put continental on an autocommit-only service")
+		showDOL  = flag.Bool("dol", false, "echo generated DOL programs")
+		seed     = flag.Int64("seed", 1, "fault-injection random seed")
+		stateDir = flag.String("state", "", "directory of per-service snapshots to load at start and save at exit")
+	)
+	var execs multiFlag
+	flag.Var(&execs, "e", "MSQL statement to execute (repeatable)")
+	flag.Parse()
+
+	fed, err := demo.Build(demo.Options{ContinentalAutoCommit: *autoCont, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bootstrap:", err)
+		os.Exit(1)
+	}
+	if *stateDir != "" {
+		if err := loadState(fed, *stateDir); err != nil {
+			fmt.Fprintln(os.Stderr, "load state:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := saveState(fed, *stateDir); err != nil {
+				fmt.Fprintln(os.Stderr, "save state:", err)
+			}
+		}()
+	}
+
+	run := func(src string) bool {
+		results, err := fed.ExecScript(src)
+		for _, r := range results {
+			printResult(os.Stdout, r, *showDOL)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		return true
+	}
+
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !run(string(data)) {
+			os.Exit(1)
+		}
+	case len(execs) > 0:
+		if !run(strings.Join(execs, ";\n")) {
+			os.Exit(1)
+		}
+	default:
+		repl(fed, *showDOL)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func repl(fed *core.Federation, showDOL bool) {
+	fmt.Println("Extended MSQL shell — demo federation: continental delta united avis national")
+	fmt.Println("End statements with ';' or an empty line; .dol on|off, .gdd, .services, .quit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("msql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	flush := func() {
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if src == "" {
+			return
+		}
+		results, err := fed.ExecScript(src)
+		for _, r := range results {
+			printResult(os.Stdout, r, showDOL)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == ".quit" || trimmed == ".exit":
+			return
+		case trimmed == ".dol on":
+			showDOL = true
+		case trimmed == ".dol off":
+			showDOL = false
+		case trimmed == ".gdd":
+			printGDD(os.Stdout, fed)
+		case trimmed == ".services":
+			printServices(os.Stdout, fed)
+		case trimmed == "":
+			flush()
+		default:
+			buf.WriteString(line)
+			buf.WriteString("\n")
+			if strings.HasSuffix(trimmed, ";") && !needsMore(buf.String()) {
+				flush()
+			}
+		}
+		prompt()
+	}
+	flush()
+}
+
+// needsMore reports whether the buffered text is an unfinished
+// multitransaction.
+func needsMore(src string) bool {
+	up := strings.ToUpper(src)
+	return strings.Contains(up, "BEGIN MULTITRANSACTION") &&
+		!strings.Contains(up, "END MULTITRANSACTION")
+}
+
+func printResult(w io.Writer, r *core.Result, showDOL bool) {
+	if showDOL && r.DOL != "" {
+		fmt.Fprintln(w, "-- generated DOL program:")
+		fmt.Fprint(w, r.DOL)
+	}
+	switch r.Kind {
+	case core.KindSelect:
+		if r.Multitable != nil {
+			fmt.Fprint(w, r.Multitable.Format())
+		}
+	case core.KindSync, core.KindGlobalDML:
+		fmt.Fprintf(w, "global state: %s (DOLSTATUS=%d)\n", r.State, r.Status)
+		for _, name := range sortedTaskNames(r) {
+			fmt.Fprintf(w, "  %-14s %-10s %d row(s)\n", name, r.TaskStates[name], r.RowsAffected[name])
+		}
+		for _, c := range r.Compensated {
+			fmt.Fprintf(w, "  %-14s compensated\n", c)
+		}
+	case core.KindMultiTx:
+		if r.AchievedState != nil {
+			fmt.Fprintf(w, "multitransaction committed acceptable state %d: %s\n",
+				r.Status, strings.Join(r.AchievedState, " AND "))
+		} else {
+			fmt.Fprintf(w, "multitransaction failed: no acceptable state reachable (DOLSTATUS=%d)\n", r.Status)
+		}
+		for _, name := range sortedTaskNames(r) {
+			fmt.Fprintf(w, "  %-14s %s\n", name, r.TaskStates[name])
+		}
+	case core.KindIncorporate:
+		fmt.Fprintln(w, "service incorporated")
+	case core.KindImport:
+		fmt.Fprintln(w, "database imported")
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(w, "  (skipped %s: %s)\n", s.Entry.Name, s.Reason)
+	}
+	for _, trig := range r.TriggersFired {
+		fmt.Fprintf(w, "  (trigger %s fired)\n", trig)
+	}
+	for _, name := range sortedTaskNames(r) {
+		if r.TaskStates[name] == dol.StatusError {
+			fmt.Fprintf(w, "  warning: %s ended in engine error\n", name)
+		}
+	}
+}
+
+// demoServices are the services of the demo federation, used for
+// per-service state snapshots.
+var demoServices = []string{"svc_cont", "svc_delta", "svc_unit", "svc_avis", "svc_natl"}
+
+// loadState restores per-service snapshots from dir, skipping services
+// without a snapshot file, then re-imports the restored schemas so the
+// GDD reflects tables created in earlier sessions.
+func loadState(fed *core.Federation, dir string) error {
+	loaded := false
+	for _, svc := range demoServices {
+		path := filepath.Join(dir, svc+".snap")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		err = fed.Server(svc).Store().Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		loaded = true
+	}
+	if !loaded {
+		return nil
+	}
+	reimport := `
+IMPORT DATABASE continental FROM SERVICE svc_cont;
+IMPORT DATABASE delta FROM SERVICE svc_delta;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+IMPORT DATABASE avis FROM SERVICE svc_avis;
+IMPORT DATABASE national FROM SERVICE svc_natl;
+`
+	_, err := fed.ExecScript(reimport)
+	return err
+}
+
+// saveState snapshots every demo service into dir.
+func saveState(fed *core.Federation, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, svc := range demoServices {
+		path := filepath.Join(dir, svc+".snap")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = fed.Server(svc).Store().Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// printGDD lists the Global Data Dictionary contents.
+func printGDD(w io.Writer, fed *core.Federation) {
+	for _, dbName := range fed.GDD.DatabaseNames() {
+		db, err := fed.GDD.Database(dbName)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s (service %s)\n", db.Name, db.Service)
+		var tables []string
+		for name := range db.Tables {
+			tables = append(tables, name)
+		}
+		sort.Strings(tables)
+		for _, name := range tables {
+			def := db.Tables[name]
+			kind := "table"
+			if def.IsView {
+				kind = "view"
+			}
+			fmt.Fprintf(w, "  %-20s %s(%s)\n", name, kind+" ", strings.Join(def.ColumnNames(), ", "))
+		}
+	}
+	if mds := fed.GDD.MultidatabaseNames(); len(mds) > 0 {
+		for _, name := range mds {
+			members, _ := fed.GDD.Multidatabase(name)
+			fmt.Fprintf(w, "multidatabase %s = %s\n", name, strings.Join(members, ", "))
+		}
+	}
+}
+
+// printServices lists the Auxiliary Directory contents.
+func printServices(w io.Writer, fed *core.Federation) {
+	for _, name := range fed.AD.Names() {
+		entry, err := fed.AD.Lookup(name)
+		if err != nil {
+			continue
+		}
+		connect := "NOCONNECT"
+		if entry.Connect {
+			connect = "CONNECT"
+		}
+		commit := "NOCOMMIT (2PC)"
+		if entry.AutoCommitOnly {
+			commit = "COMMIT (autocommit only)"
+		}
+		site := entry.Site
+		if site == "" {
+			site = "(in-process)"
+		}
+		fmt.Fprintf(w, "%-12s site %-18s %-10s %s", name, site, connect, commit)
+		for _, class := range []string{"CREATE", "INSERT", "DROP"} {
+			if entry.DDLCommit[class] {
+				fmt.Fprintf(w, " %s=COMMIT", class)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sortedTaskNames(r *core.Result) []string {
+	names := make([]string, 0, len(r.TaskStates))
+	for n := range r.TaskStates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"msql/internal/demo"
+)
+
+func TestNeedsMore(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"SELECT 1;", false},
+		{"BEGIN MULTITRANSACTION\nUSE a;", true},
+		{"begin multitransaction use a commit a end multitransaction;", false},
+		{"USE avis;", false},
+	}
+	for _, c := range cases {
+		if got := needsMore(c.src); got != c.want {
+			t.Errorf("needsMore(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintResultShapes(t *testing.T) {
+	fed, err := demo.Build(demo.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(script string, wantSubstrings ...string) {
+		t.Helper()
+		results, err := fed.ExecScript(script)
+		if err != nil {
+			t.Fatalf("%s: %v", script, err)
+		}
+		var b strings.Builder
+		for _, r := range results {
+			printResult(&b, r, true)
+		}
+		out := b.String()
+		for _, want := range wantSubstrings {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	}
+	check("USE avis\nSELECT code FROM cars WHERE carst = 'available'",
+		"-- avis", "code", "generated DOL program")
+	check("USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT",
+		"global state: success", "avis", "1 row(s)")
+	check(`BEGIN MULTITRANSACTION
+USE avis
+UPDATE cars SET carst = 'TAKEN' WHERE code = 1
+COMMIT avis
+END MULTITRANSACTION`,
+		"multitransaction committed acceptable state 0: avis")
+	check("USE avis national\nSELECT code FROM cars%",
+		"(skipped national")
+}
+
+func TestPrintGDDAndServices(t *testing.T) {
+	fed, err := demo.Build(demo.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.ExecScript("CREATE MULTIDATABASE airlines (continental, delta, united)"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	printGDD(&b, fed)
+	out := b.String()
+	for _, want := range []string{
+		"continental (service svc_cont)",
+		"flights",
+		"multidatabase airlines = continental, delta, united",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gdd output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	printServices(&b, fed)
+	out = b.String()
+	for _, want := range []string{
+		"svc_cont", "NOCOMMIT (2PC)", "CREATE=COMMIT", "NOCONNECT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("services output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	m.Set("a")
+	m.Set("b")
+	if m.String() != "a; b" || len(m) != 2 {
+		t.Fatalf("m = %v", m)
+	}
+}
+
+func TestPrintIncorporateImport(t *testing.T) {
+	fed, err := demo.Build(demo.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fed.ExecScript(`
+INCORPORATE SERVICE svc_avis CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE avis FROM SERVICE svc_avis
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range results {
+		printResult(&b, r, false)
+	}
+	if !strings.Contains(b.String(), "service incorporated") || !strings.Contains(b.String(), "database imported") {
+		t.Fatalf("out = %s", b.String())
+	}
+}

@@ -1,0 +1,13 @@
+// Package msql is a from-scratch Go reproduction of "Execution of
+// Extended Multidatabase SQL" (Suardi, Rusinkiewicz, Litwin — ICDE 1993):
+// the MSQL multidatabase language with the paper's extensions (VITAL
+// designators, COMP compensation clauses, multitransactions with
+// acceptable termination states, INCORPORATE/IMPORT dictionaries),
+// executed by translating MSQL to the DOL task language and running it on
+// a Narada-style engine over heterogeneous simulated local DBMSs.
+//
+// See README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced evaluation artifacts. The root
+// package exists to host bench_test.go; the implementation lives under
+// internal/.
+package msql

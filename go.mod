@@ -1,0 +1,3 @@
+module msql
+
+go 1.22

@@ -1,0 +1,789 @@
+// Package core implements the multidatabase system facade — the paper's
+// complete execution environment for Extended MSQL. A Federation owns the
+// Auxiliary Directory and Global Data Dictionary, talks to incorporated
+// services through LAM clients (in-process or TCP), and executes MSQL
+// scripts by running them through the full pipeline: multiple identifier
+// substitution → disambiguation → decomposition → DOL plan generation →
+// execution on the DOL engine.
+//
+// Synchronization points follow §3.2.2 of the paper: manipulation
+// statements accumulate in a transaction unit that is synchronized (its
+// vital set committed or rolled back/compensated) at an explicit COMMIT
+// or ROLLBACK, at a scope change (USE), and at the end of the script.
+// SELECT statements execute immediately; cross-database statements form
+// their own unit.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"msql/internal/catalog"
+	"msql/internal/dol"
+	"msql/internal/dolengine"
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/msqlparser"
+	"msql/internal/multitable"
+	"msql/internal/relstore"
+	"msql/internal/semvar"
+	"msql/internal/sqlparser"
+	"msql/internal/translate"
+)
+
+// Facade errors.
+var (
+	ErrNoClient    = errors.New("core: no client registered for site")
+	ErrUnsupported = errors.New("core: unsupported at the multidatabase level")
+)
+
+// GlobalState classifies the outcome of a synchronized unit with respect
+// to its vital set (§3.2.1).
+type GlobalState uint8
+
+// Global states.
+const (
+	// StateSuccess: every VITAL subquery committed.
+	StateSuccess GlobalState = iota
+	// StateAborted: every VITAL subquery rolled back or compensated.
+	StateAborted
+	// StateIncorrect: some VITAL subqueries committed and some did not —
+	// the failure mode the vital-set machinery exists to prevent; it can
+	// still surface on commit-time faults.
+	StateIncorrect
+)
+
+func (s GlobalState) String() string {
+	switch s {
+	case StateSuccess:
+		return "success"
+	case StateAborted:
+		return "aborted"
+	case StateIncorrect:
+		return "incorrect"
+	default:
+		return fmt.Sprintf("GlobalState(%d)", uint8(s))
+	}
+}
+
+// ResultKind tags what a Result describes.
+type ResultKind uint8
+
+// Result kinds.
+const (
+	KindSelect ResultKind = iota
+	KindSync              // a synchronized transaction unit
+	KindGlobalDML
+	KindMultiTx
+	KindIncorporate
+	KindImport
+	KindNoop
+)
+
+// Result is the outcome of one MSQL statement (or synchronization point).
+type Result struct {
+	Kind ResultKind
+	// Multitable holds SELECT partial results, one table per database.
+	Multitable *multitable.Multitable
+	// RowsAffected maps scope entry names to modified row counts.
+	RowsAffected map[string]int
+	// Status is the plan's DOLSTATUS return code.
+	Status int
+	// State classifies the vital-set outcome for sync/DML results.
+	State GlobalState
+	// TaskStates reports each entry's subquery outcome.
+	TaskStates map[string]dol.TaskStatus
+	// Compensated lists entries whose committed subqueries were undone by
+	// compensating actions.
+	Compensated []string
+	// Skipped lists scope databases the query was not pertinent to.
+	Skipped []semvar.Skip
+	// DOL is the generated program text.
+	DOL string
+	// AchievedState is the acceptable termination state a
+	// multitransaction reached, nil when it failed.
+	AchievedState []string
+	// TriggersFired lists interdatabase triggers executed after this
+	// result's synchronization.
+	TriggersFired []string
+}
+
+// Federation is the multidatabase system. A Federation represents one
+// multidatabase user's session: ExecScript carries scope and transaction
+// state across calls and is not safe for concurrent use. Multiple users
+// of the same local database systems each build their own Federation
+// around shared servers (see internal/demo's concurrency tests); the
+// LDBMS layer's locking arbitrates between them.
+type Federation struct {
+	AD  *catalog.AD
+	GDD *catalog.GDD
+
+	mu      sync.Mutex
+	clients map[string]lam.Client
+	servers map[string]*ldbms.Server
+
+	tctx   *translate.Context
+	engine *dolengine.Engine
+
+	// DryRun translates plans without executing them (used by doldump).
+	DryRun bool
+
+	// script execution state
+	scope []semvar.ScopeEntry
+	lets  []msqlparser.LetBinding
+	unit  []translate.UnitQuery
+
+	// multidatabase-level definitions
+	multiviews map[string]*storedView
+	triggers   map[string]*storedTrigger
+	inTrigger  bool
+}
+
+// storedView is a multidatabase view: a multiple query with the scope and
+// LET bindings captured at definition time.
+type storedView struct {
+	scope []semvar.ScopeEntry
+	lets  []msqlparser.LetBinding
+	body  sqlparser.Statement
+}
+
+// storedTrigger is an interdatabase trigger definition.
+type storedTrigger struct {
+	name     string
+	database string
+	event    string
+	scope    []semvar.ScopeEntry
+	lets     []msqlparser.LetBinding
+	query    *msqlparser.QueryStmt
+}
+
+// New creates an empty federation.
+func New() *Federation {
+	f := &Federation{
+		AD:         catalog.NewAD(),
+		GDD:        catalog.NewGDD(),
+		clients:    make(map[string]lam.Client),
+		servers:    make(map[string]*ldbms.Server),
+		multiviews: make(map[string]*storedView),
+		triggers:   make(map[string]*storedTrigger),
+	}
+	f.tctx = &translate.Context{AD: f.AD, GDD: f.GDD}
+	f.engine = dolengine.New(f)
+	return f
+}
+
+// RegisterClient makes a LAM client reachable under a site or service
+// name.
+func (f *Federation) RegisterClient(key string, c lam.Client) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clients[key] = c
+}
+
+// AddLocalService creates an in-process LDBMS, registers its LAM client
+// under the service name, and returns the server for bootstrapping data.
+func (f *Federation) AddLocalService(name string, profile ldbms.Profile, seed int64) *ldbms.Server {
+	srv := ldbms.NewServer(name, profile, seed)
+	f.RegisterClient(name, lam.NewLocal(srv))
+	f.mu.Lock()
+	f.servers[name] = srv
+	f.mu.Unlock()
+	return srv
+}
+
+// Server returns a previously added local server.
+func (f *Federation) Server(name string) *ldbms.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.servers[name]
+}
+
+// Resolve implements dolengine.Directory: registered clients first, then
+// a lazy TCP dial for host:port sites.
+func (f *Federation) Resolve(site string) (lam.Client, error) {
+	f.mu.Lock()
+	if c, ok := f.clients[site]; ok {
+		f.mu.Unlock()
+		return c, nil
+	}
+	f.mu.Unlock()
+	if strings.Contains(site, ":") {
+		c, err := lam.Dial(site)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s (%v)", ErrNoClient, site, err)
+		}
+		f.RegisterClient(site, c)
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoClient, site)
+}
+
+// clientFor returns the LAM client of an incorporated service.
+func (f *Federation) clientFor(service string) (lam.Client, error) {
+	entry, err := f.AD.Lookup(service)
+	if err != nil {
+		return nil, err
+	}
+	if entry.Site != "" {
+		if c, err := f.Resolve(entry.Site); err == nil {
+			return c, nil
+		}
+	}
+	return f.Resolve(service)
+}
+
+// Scope returns the current USE scope.
+func (f *Federation) Scope() []semvar.ScopeEntry {
+	return append([]semvar.ScopeEntry(nil), f.scope...)
+}
+
+// ExecScript parses and executes an MSQL script, returning one Result per
+// produced outcome (statements and synchronization points). Execution
+// stops at the first error; results produced so far are returned.
+func (f *Federation) ExecScript(src string) ([]*Result, error) {
+	script, err := msqlparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	add := func(rs ...*Result) {
+		for _, r := range rs {
+			if r != nil {
+				results = append(results, r)
+			}
+		}
+	}
+	for _, stmt := range script.Stmts {
+		rs, err := f.execStmt(stmt)
+		add(rs...)
+		if err != nil {
+			return results, err
+		}
+	}
+	r, err := f.Flush()
+	add(r)
+	return results, err
+}
+
+// execStmt executes one statement, returning zero or more results (a
+// statement that triggers a synchronization point yields the sync result
+// first).
+func (f *Federation) execStmt(stmt msqlparser.Stmt) ([]*Result, error) {
+	switch st := stmt.(type) {
+	case *msqlparser.UseStmt:
+		sync, err := f.Flush()
+		if err != nil {
+			return resultList(sync), err
+		}
+		entries, err := f.expandScope(semvar.ScopeFromUse(st))
+		if err != nil {
+			return resultList(sync), err
+		}
+		if st.Current {
+			f.scope = dedupeScope(append(f.scope, entries...))
+		} else {
+			f.scope = dedupeScope(entries)
+		}
+		f.lets = nil
+		return resultList(sync), nil
+
+	case *msqlparser.LetStmt:
+		f.lets = append(f.lets, st.Bindings...)
+		return nil, nil
+
+	case *msqlparser.QueryStmt:
+		return f.execQuery(st)
+
+	case *msqlparser.CommitStmt:
+		r, err := f.sync(translate.SyncCommit)
+		return resultList(r), err
+
+	case *msqlparser.RollbackStmt:
+		r, err := f.sync(translate.SyncRollback)
+		return resultList(r), err
+
+	case *msqlparser.MultiTxStmt:
+		sync, err := f.Flush()
+		if err != nil {
+			return resultList(sync), err
+		}
+		r, err := f.execMultiTx(st)
+		return resultList(sync, r), err
+
+	case *msqlparser.IncorporateStmt:
+		f.AD.Incorporate(catalog.ServiceEntry{
+			Name:           st.Service,
+			Site:           st.Site,
+			Connect:        st.Connect,
+			AutoCommitOnly: st.AutoCommitOnly,
+			DDLCommit:      st.DDLCommit,
+		})
+		return resultList(&Result{Kind: KindIncorporate}), nil
+
+	case *msqlparser.ImportStmt:
+		client, err := f.clientFor(st.Service)
+		if err != nil {
+			return nil, err
+		}
+		spec := catalog.ImportSpec{Table: st.Table, View: st.View, Columns: st.Columns}
+		if err := catalog.ImportDatabase(f.GDD, f.AD, client, st.Database, st.Service, spec); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindImport}), nil
+
+	case *msqlparser.CreateMultidatabaseStmt:
+		if err := f.GDD.DefineMultidatabase(st.Name, st.Members); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropMultidatabaseStmt:
+		if err := f.GDD.DropMultidatabase(st.Name); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.CreateMultiviewStmt:
+		if len(f.scope) == 0 {
+			return nil, fmt.Errorf("core: CREATE MULTIVIEW captures the current scope — issue USE first")
+		}
+		f.multiviews[st.Name] = &storedView{
+			scope: append([]semvar.ScopeEntry(nil), f.scope...),
+			lets:  append([]msqlparser.LetBinding(nil), f.lets...),
+			body:  st.Body,
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropMultiviewStmt:
+		if _, ok := f.multiviews[st.Name]; !ok {
+			return nil, fmt.Errorf("core: no multiview %s", st.Name)
+		}
+		delete(f.multiviews, st.Name)
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.CreateTriggerStmt:
+		if len(f.scope) == 0 {
+			return nil, fmt.Errorf("core: CREATE TRIGGER captures the current scope — issue USE first")
+		}
+		f.triggers[st.Name] = &storedTrigger{
+			name:     st.Name,
+			database: st.Database,
+			event:    st.Event,
+			scope:    append([]semvar.ScopeEntry(nil), f.scope...),
+			lets:     append([]msqlparser.LetBinding(nil), f.lets...),
+			query:    st.Body,
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropTriggerStmt:
+		if _, ok := f.triggers[st.Name]; !ok {
+			return nil, fmt.Errorf("core: no trigger %s", st.Name)
+		}
+		delete(f.triggers, st.Name)
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+// dedupeScope drops repeated scope entries (same name), keeping the
+// first occurrence but letting a later VITAL designator strengthen it.
+func dedupeScope(entries []semvar.ScopeEntry) []semvar.ScopeEntry {
+	seen := map[string]int{}
+	var out []semvar.ScopeEntry
+	for _, e := range entries {
+		if i, ok := seen[e.Name]; ok {
+			if e.Vital {
+				out[i].Vital = true
+			}
+			continue
+		}
+		seen[e.Name] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// expandScope replaces multidatabase names in a scope by their members,
+// propagating the VITAL designator. Aliases cannot attach to a
+// multidatabase (the expansion would make them ambiguous).
+func (f *Federation) expandScope(entries []semvar.ScopeEntry) ([]semvar.ScopeEntry, error) {
+	var out []semvar.ScopeEntry
+	for _, e := range entries {
+		members, ok := f.GDD.Multidatabase(e.Database)
+		if !ok {
+			out = append(out, e)
+			continue
+		}
+		if e.Name != e.Database {
+			return nil, fmt.Errorf("core: multidatabase %s cannot take alias %s", e.Database, e.Name)
+		}
+		for _, m := range members {
+			out = append(out, semvar.ScopeEntry{Database: m, Name: m, Vital: e.Vital})
+		}
+	}
+	return out, nil
+}
+
+func resultList(rs ...*Result) []*Result {
+	var out []*Result
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// execQuery routes one manipulation statement.
+func (f *Federation) execQuery(q *msqlparser.QueryStmt) ([]*Result, error) {
+	switch q.Body.(type) {
+	case *sqlparser.CreateDatabaseStmt, *sqlparser.DropDatabaseStmt:
+		return nil, fmt.Errorf("%w: CREATE/DROP DATABASE — create the database on its service and IMPORT it", ErrUnsupported)
+	}
+	if sel, ok := q.Body.(*sqlparser.SelectStmt); ok {
+		if view := f.matchMultiview(sel); view != nil {
+			r, err := f.execStoredSelect(view)
+			return resultList(r), err
+		}
+		r, err := f.execSelect(q)
+		return resultList(r), err
+	}
+	if len(f.scope) == 0 {
+		return nil, translate.ErrNoScope
+	}
+	if semvar.IsGlobalQuery(q.Body, f.scope) {
+		// Cross-database DML forms its own unit.
+		sync, err := f.Flush()
+		if err != nil {
+			return resultList(sync), err
+		}
+		r, err := f.execGlobalDML(q)
+		return resultList(sync, r), err
+	}
+	f.unit = append(f.unit, translate.UnitQuery{
+		Lets:  append([]msqlparser.LetBinding(nil), f.lets...),
+		Query: q,
+	})
+	return nil, nil
+}
+
+// Flush synchronizes the pending unit in commit mode. It returns nil when
+// nothing is pending.
+func (f *Federation) Flush() (*Result, error) {
+	if len(f.unit) == 0 {
+		return nil, nil
+	}
+	return f.sync(translate.SyncCommit)
+}
+
+// sync translates and runs the pending unit.
+func (f *Federation) sync(mode translate.SyncMode) (*Result, error) {
+	unit := f.unit
+	f.unit = nil
+	if len(unit) == 0 {
+		return nil, nil
+	}
+	prog, meta, err := f.tctx.TranslateUnit(f.scope, unit, mode)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSync, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		f.dropProvisional(meta, nil)
+		return res, nil
+	}
+	out, err := f.engine.Run(prog)
+	if err != nil {
+		f.dropProvisional(meta, out)
+		return res, err
+	}
+	f.dropProvisional(meta, out)
+	f.fillFromOutcome(res, meta, out)
+	f.maintainGDD(meta, out)
+	if err := f.fireTriggers(res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// dropProvisional removes translation-time GDD entries whose creating
+// task did not commit (out == nil removes all, for dry runs and engine
+// failures).
+func (f *Federation) dropProvisional(meta *translate.Meta, out *dolengine.Outcome) {
+	for _, p := range meta.Provisional {
+		if out != nil && out.TaskStatus(p.TaskName) == dol.StatusCommitted {
+			continue
+		}
+		_ = f.GDD.DropTable(p.Database, p.Table)
+	}
+}
+
+// fireTriggers runs interdatabase triggers matching committed
+// manipulation subqueries of a synchronized unit. Triggers do not fire
+// recursively.
+func (f *Federation) fireTriggers(res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
+	if f.inTrigger || len(f.triggers) == 0 {
+		return nil
+	}
+	eventOf := func(s sqlparser.Statement) string {
+		switch s.(type) {
+		case *sqlparser.UpdateStmt:
+			return "UPDATE"
+		case *sqlparser.InsertStmt:
+			return "INSERT"
+		case *sqlparser.DeleteStmt:
+			return "DELETE"
+		case *sqlparser.CreateTableStmt, *sqlparser.CreateViewStmt:
+			return "CREATE"
+		case *sqlparser.DropTableStmt, *sqlparser.DropViewStmt:
+			return "DROP"
+		default:
+			return ""
+		}
+	}
+	fired := map[string]bool{}
+	for _, tm := range meta.Tasks {
+		if tm.Role != translate.RoleWrite && tm.Role != translate.RoleFinal {
+			continue
+		}
+		if out.TaskStatus(tm.Name) != dol.StatusCommitted {
+			continue
+		}
+		ev := eventOf(tm.Stmt)
+		for name, trig := range f.triggers {
+			if fired[name] || trig.event != ev {
+				continue
+			}
+			if trig.database != tm.Entry.Database && trig.database != tm.Entry.Name {
+				continue
+			}
+			fired[name] = true
+			f.inTrigger = true
+			_, _, terr := func() (*dol.Program, *translate.Meta, error) {
+				prog, tmeta, err := f.tctx.TranslateUnit(trig.scope,
+					[]translate.UnitQuery{{Lets: trig.lets, Query: trig.query}}, translate.SyncCommit)
+				if err != nil {
+					return nil, nil, err
+				}
+				_, err = f.engine.Run(prog)
+				return prog, tmeta, err
+			}()
+			f.inTrigger = false
+			if terr != nil {
+				return fmt.Errorf("core: trigger %s: %w", name, terr)
+			}
+			res.TriggersFired = append(res.TriggersFired, name)
+		}
+	}
+	return nil
+}
+
+// fillFromOutcome copies task states and classifies the vital outcome.
+func (f *Federation) fillFromOutcome(res *Result, meta *translate.Meta, out *dolengine.Outcome) {
+	res.Status = out.Status
+	res.TaskStates = make(map[string]dol.TaskStatus)
+	res.RowsAffected = make(map[string]int)
+	compDone := map[string]bool{}
+	for _, tm := range meta.Tasks {
+		st := out.TaskStatus(tm.Name)
+		if tm.Role == translate.RoleComp {
+			if st == dol.StatusCommitted {
+				compDone[tm.Entry.Name] = true
+				res.Compensated = append(res.Compensated, tm.Entry.Name)
+			}
+			continue
+		}
+		res.TaskStates[tm.Entry.Name] = st
+		if info, ok := out.Tasks[tm.Name]; ok {
+			res.RowsAffected[tm.Entry.Name] += info.RowsAffected
+		}
+	}
+	// Classify with respect to the vital set.
+	if len(meta.VitalNames) == 0 {
+		res.State = StateSuccess
+		return
+	}
+	committed, undone := 0, 0
+	for _, name := range meta.VitalNames {
+		st := res.TaskStates[name]
+		switch {
+		case st == dol.StatusCommitted && !compDone[name]:
+			committed++
+		default:
+			undone++
+		}
+	}
+	switch {
+	case undone == 0:
+		res.State = StateSuccess
+	case committed == 0:
+		res.State = StateAborted
+	default:
+		res.State = StateIncorrect
+	}
+}
+
+// maintainGDD applies committed DDL to the dictionary.
+func (f *Federation) maintainGDD(meta *translate.Meta, out *dolengine.Outcome) {
+	for _, tm := range meta.Tasks {
+		if tm.Role == translate.RoleComp || out.TaskStatus(tm.Name) != dol.StatusCommitted {
+			continue
+		}
+		switch st := tm.Stmt.(type) {
+		case *sqlparser.CreateTableStmt:
+			def := catalog.TableDef{Name: st.Table.Last()}
+			for _, c := range st.Columns {
+				def.Columns = append(def.Columns, toRelColumn(c))
+			}
+			_ = f.GDD.PutTable(tm.Entry.Database, def)
+		case *sqlparser.DropTableStmt:
+			_ = f.GDD.DropTable(tm.Entry.Database, st.Table.Last())
+		}
+	}
+}
+
+// matchMultiview recognizes the multiview invocation form
+// SELECT * FROM <name> where <name> is a defined multidatabase view.
+func (f *Federation) matchMultiview(sel *sqlparser.SelectStmt) *storedView {
+	if len(sel.From) != 1 || len(sel.From[0].Name.Parts) != 1 || sel.From[0].Alias != "" {
+		return nil
+	}
+	view, ok := f.multiviews[sel.From[0].Name.Parts[0]]
+	if !ok {
+		return nil
+	}
+	plainStar := len(sel.Items) == 1 && sel.Items[0].Star && sel.Items[0].Qualifier == ""
+	if !plainStar || sel.Where != nil || sel.GroupBy != nil || sel.Having != nil ||
+		sel.OrderBy != nil || sel.Limit >= 0 || sel.Distinct {
+		return nil
+	}
+	return view
+}
+
+// execStoredSelect executes a multiview's captured multiple query.
+func (f *Federation) execStoredSelect(view *storedView) (*Result, error) {
+	prog, meta, err := f.tctx.TranslateQuery(view.scope, view.lets, &msqlparser.QueryStmt{Body: view.body})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSelect, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.engine.Run(prog)
+	if err != nil {
+		return res, err
+	}
+	f.assembleMultitable(res, meta, out)
+	return res, nil
+}
+
+// execSelect runs a retrieval query immediately and assembles the
+// multitable.
+func (f *Federation) execSelect(q *msqlparser.QueryStmt) (*Result, error) {
+	if len(f.scope) == 0 {
+		return nil, translate.ErrNoScope
+	}
+	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSelect, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.engine.Run(prog)
+	if err != nil {
+		return res, err
+	}
+	if err := f.assembleMultitable(res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// assembleMultitable copies the partial results of read tasks (or the
+// final coordinator task) into the result's multitable.
+func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
+	res.Status = out.Status
+	res.TaskStates = make(map[string]dol.TaskStatus)
+	mt := &multitable.Multitable{}
+	for _, tm := range meta.Tasks {
+		st := out.TaskStatus(tm.Name)
+		res.TaskStates[tm.Entry.Name] = st
+		isResultTask := tm.Role == translate.RoleRead && meta.FinalTask == "" ||
+			tm.Name == meta.FinalTask
+		if !isResultTask {
+			continue
+		}
+		info := out.Tasks[tm.Name]
+		if info == nil || info.Result == nil {
+			if info != nil && info.Err != nil {
+				return fmt.Errorf("core: subquery on %s failed: %w", tm.Entry.Name, info.Err)
+			}
+			continue
+		}
+		mt.Tables = append(mt.Tables, multitable.Table{
+			Database: tm.Entry.Name,
+			Columns:  info.Result.Columns,
+			Rows:     info.Result.Rows,
+		})
+	}
+	res.Multitable = mt
+	return nil
+}
+
+// execGlobalDML runs a cross-database manipulation statement as its own
+// unit.
+func (f *Federation) execGlobalDML(q *msqlparser.QueryStmt) (*Result, error) {
+	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindGlobalDML, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.engine.Run(prog)
+	if err != nil {
+		return res, err
+	}
+	f.fillFromOutcome(res, meta, out)
+	f.maintainGDD(meta, out)
+	if err := f.fireTriggers(res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// execMultiTx runs a multitransaction.
+func (f *Federation) execMultiTx(m *msqlparser.MultiTxStmt) (*Result, error) {
+	prog, meta, err := f.tctx.TranslateMultiTx(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindMultiTx, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.engine.Run(prog)
+	if err != nil {
+		return res, err
+	}
+	f.fillFromOutcome(res, meta, out)
+	if res.Status >= 0 && res.Status < len(meta.AcceptableStates) {
+		res.AchievedState = meta.AcceptableStates[res.Status]
+		res.State = StateSuccess
+	} else {
+		res.State = StateAborted
+	}
+	return res, nil
+}
+
+func toRelColumn(c sqlparser.ColumnDef) relstore.Column {
+	return relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"msql/internal/dol"
+	"msql/internal/ldbms"
+)
+
+// TestVitalInvariantUnderRandomFaults checks the central guarantee of the
+// paper's vital-set machinery: for every combination of exec/prepare
+// faults across the three airline databases, the global outcome is
+// success or aborted — never incorrect — and the two vital databases
+// always agree. Only commit-phase faults (the residual 2PC window,
+// exercised separately) may produce the incorrect state.
+func TestVitalInvariantUnderRandomFaults(t *testing.T) {
+	type faultSpec struct {
+		svc, db string
+		op      ldbms.FaultOp
+	}
+	// All single and double fault combinations at exec and prepare time.
+	var candidates []faultSpec
+	for _, target := range []struct{ svc, db string }{
+		{"svc_cont", "continental"}, {"svc_delta", "delta"}, {"svc_unit", "united"},
+	} {
+		candidates = append(candidates,
+			faultSpec{target.svc, target.db, ldbms.FaultExec},
+			faultSpec{target.svc, target.db, ldbms.FaultPrepare},
+		)
+	}
+	var combos [][]faultSpec
+	combos = append(combos, nil)
+	for i := range candidates {
+		combos = append(combos, []faultSpec{candidates[i]})
+		for j := i + 1; j < len(candidates); j++ {
+			combos = append(combos, []faultSpec{candidates[i], candidates[j]})
+		}
+	}
+
+	for ci, combo := range combos {
+		name := fmt.Sprintf("combo%d", ci)
+		t.Run(name, func(t *testing.T) {
+			f := paperFederation(t, false)
+			for _, fs := range combo {
+				f.Server(fs.svc).Faults().Add(ldbms.FaultRule{Op: fs.op, Database: fs.db})
+			}
+			results, err := f.ExecScript(`
+USE continental VITAL delta united VITAL
+UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+`)
+			if err != nil {
+				t.Fatalf("combo %v: %v", combo, err)
+			}
+			sync := results[len(results)-1]
+			if sync.State == StateIncorrect {
+				t.Fatalf("combo %v produced the incorrect state: %+v", combo, sync.TaskStates)
+			}
+			cont, unit := sync.TaskStates["continental"], sync.TaskStates["united"]
+			contCommitted := cont == dol.StatusCommitted
+			unitCommitted := unit == dol.StatusCommitted
+			if contCommitted != unitCommitted {
+				t.Fatalf("combo %v: vital set disagrees: continental=%s united=%s", combo, cont, unit)
+			}
+			// The local data must agree with the reported state.
+			rate := localRate(t, f, "svc_cont", "continental", "SELECT rate FROM flights WHERE flnu = 100")
+			if contCommitted && (rate < 109.9 || rate > 110.1) {
+				t.Fatalf("combo %v: committed but rate = %v", combo, rate)
+			}
+			if !contCommitted && rate != 100 {
+				t.Fatalf("combo %v: aborted but rate = %v", combo, rate)
+			}
+		})
+	}
+}
+
+// TestCompensationInvariantUnderFaults: with continental on an
+// autocommit-only service, for every exec-time fault combination either
+// both logical effects stand or neither does (after compensation).
+func TestCompensationInvariantUnderFaults(t *testing.T) {
+	combos := [][]string{
+		nil,
+		{"continental"},
+		{"united"},
+		{"continental", "united"},
+	}
+	for ci, combo := range combos {
+		t.Run(fmt.Sprintf("combo%d", ci), func(t *testing.T) {
+			f := paperFederation(t, true)
+			for _, db := range combo {
+				svc := "svc_cont"
+				if db == "united" {
+					svc = "svc_unit"
+				}
+				f.Server(svc).Faults().Add(ldbms.FaultRule{Op: ldbms.FaultExec, Database: db})
+			}
+			results, err := f.ExecScript(e3Script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sync := results[len(results)-1]
+			contRate := localRate(t, f, "svc_cont", "continental", "SELECT rate FROM flights WHERE flnu = 100")
+			unitRate := localRate(t, f, "svc_unit", "united", "SELECT rates FROM flight WHERE fn = 300")
+			contRaised := contRate > 105
+			unitRaised := unitRate > 125
+			if contRaised != unitRaised {
+				t.Fatalf("combo %v: effects diverge: cont=%v unit=%v (state %s)", combo, contRate, unitRate, sync.State)
+			}
+			if sync.State == StateSuccess && !contRaised {
+				t.Fatalf("combo %v: success without effect", combo)
+			}
+			if sync.State == StateAborted && contRaised {
+				t.Fatalf("combo %v: aborted but effects stand", combo)
+			}
+		})
+	}
+}
+
+// TestMultiTxNeverDoubleBooks: under every single-database fault, the
+// travel-agent multitransaction books at most one seat and one car, and
+// books both or neither.
+func TestMultiTxNeverDoubleBooks(t *testing.T) {
+	targets := []struct{ svc, db string }{
+		{"", ""}, // no fault
+		{"svc_cont", "continental"},
+		{"svc_delta", "delta"},
+		{"svc_avis", "avis"},
+		{"svc_natl", "national"},
+	}
+	for _, target := range targets {
+		name := target.db
+		if name == "" {
+			name = "healthy"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := paperFederation(t, false)
+			if target.svc != "" {
+				f.Server(target.svc).Faults().Add(ldbms.FaultRule{Op: ldbms.FaultExec, Database: target.db})
+			}
+			results, err := f.ExecScript(e4Script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mtx := results[len(results)-1]
+
+			count := func(svc, db, sql string) int64 {
+				sess, err := f.Server(svc).OpenSession(db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sess.Close()
+				res, err := sess.Exec(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, _ := res.Rows[0][0].AsInt()
+				return n
+			}
+			seats := count("svc_cont", "continental", "SELECT COUNT(seatnu) FROM f838 WHERE clientname = 'wenders'") +
+				count("svc_delta", "delta", "SELECT COUNT(snu) FROM fnu747 WHERE passname = 'wenders'")
+			cars := count("svc_avis", "avis", "SELECT COUNT(code) FROM cars WHERE client = 'wenders'") +
+				count("svc_natl", "national", "SELECT COUNT(vcode) FROM vehicle WHERE client = 'wenders'")
+			if seats > 1 || cars > 1 {
+				t.Fatalf("double booking: %d seats, %d cars", seats, cars)
+			}
+			if (seats == 1) != (cars == 1) {
+				t.Fatalf("partial trip: %d seats, %d cars", seats, cars)
+			}
+			if mtx.AchievedState != nil && seats != 1 {
+				t.Fatalf("achieved state %v but %d seats", mtx.AchievedState, seats)
+			}
+			if mtx.AchievedState == nil && seats != 0 {
+				t.Fatalf("failed multitransaction left %d seats", seats)
+			}
+		})
+	}
+}

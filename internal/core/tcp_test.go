@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/translate"
+)
+
+// tcpFederation serves two airline databases over real TCP LAMs and
+// incorporates them by site address only.
+func tcpFederation(t *testing.T) (*Federation, map[string]*ldbms.Server) {
+	t.Helper()
+	servers := map[string]*ldbms.Server{}
+	fed := New()
+	var sites []string
+	specs := []struct {
+		svc, db string
+		ddl     []string
+	}{
+		{"svc_cont", "continental", []string{
+			"CREATE TABLE flights (flnu INTEGER, source CHAR(20), destination CHAR(20), rate FLOAT)",
+			"INSERT INTO flights VALUES (100, 'Houston', 'San Antonio', 100.0)",
+		}},
+		{"svc_unit", "united", []string{
+			"CREATE TABLE flight (fn INTEGER, sour CHAR(20), dest CHAR(20), rates FLOAT)",
+			"INSERT INTO flight VALUES (300, 'Houston', 'San Antonio', 120.0)",
+		}},
+	}
+	for _, sp := range specs {
+		srv := ldbms.NewServer(sp.svc, ldbms.ProfileOracleLike(), 1)
+		if err := srv.CreateDatabase(sp.db); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := srv.OpenSession(sp.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range sp.ddl {
+			if _, err := sess.Exec(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sess.Commit()
+		sess.Close()
+		ts, err := lam.Serve("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ts.Close() })
+		sites = append(sites, ts.Addr())
+		servers[sp.db] = srv
+	}
+	setup := fmt.Sprintf(`
+INCORPORATE SERVICE svc_cont SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_unit SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE continental FROM SERVICE svc_cont;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+`, sites[0], sites[1])
+	if _, err := fed.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	return fed, servers
+}
+
+func TestTCPFederationVitalUpdate(t *testing.T) {
+	fed, servers := tcpFederation(t)
+	results, err := fed.ExecScript(`
+USE continental VITAL united VITAL
+UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := results[len(results)-1]
+	if sync.State != StateSuccess {
+		t.Fatalf("state = %s", sync.State)
+	}
+	// Verify on the server directly.
+	sess, _ := servers["continental"].OpenSession("continental")
+	defer sess.Close()
+	res, err := sess.Exec("SELECT rate FROM flights WHERE flnu = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := res.Rows[0][0].AsFloat()
+	if f < 109.9 || f > 110.1 {
+		t.Fatalf("rate over TCP = %v", f)
+	}
+}
+
+func TestTCPFederationVitalAbort(t *testing.T) {
+	fed, servers := tcpFederation(t)
+	servers["united"].Faults().Add(ldbms.FaultRule{Op: ldbms.FaultPrepare, Database: "united"})
+	results, err := fed.ExecScript(`
+USE continental VITAL united VITAL
+UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := results[len(results)-1]
+	if sync.State != StateAborted || sync.Status != translate.StatusAborted {
+		t.Fatalf("state = %s status = %d", sync.State, sync.Status)
+	}
+	sess, _ := servers["continental"].OpenSession("continental")
+	defer sess.Close()
+	res, _ := sess.Exec("SELECT rate FROM flights WHERE flnu = 100")
+	if f, _ := res.Rows[0][0].AsFloat(); f != 100 {
+		t.Fatalf("rate = %v, 2PC abort over TCP failed", f)
+	}
+}
+
+func TestTCPFederationCrossJoin(t *testing.T) {
+	fed, _ := tcpFederation(t)
+	results, err := fed.ExecScript(`
+USE continental united
+SELECT c.flnu, u.fn FROM continental.flights c, united.flight u WHERE c.rate < u.rates
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := results[len(results)-1]
+	if sel.Multitable == nil || len(sel.Multitable.Tables) != 1 || len(sel.Multitable.Tables[0].Rows) != 1 {
+		t.Fatalf("join result = %+v", sel.Multitable)
+	}
+}
+
+func TestTCPUnknownSiteError(t *testing.T) {
+	fed := New()
+	_, err := fed.ExecScript(`
+INCORPORATE SERVICE ghost SITE '127.0.0.1:1' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE d FROM SERVICE ghost;
+`)
+	if err == nil {
+		t.Fatal("import from unreachable site should fail")
+	}
+}

@@ -1,0 +1,191 @@
+// Package demo builds the paper's example federation: the five appendix
+// databases (continental, delta, united, avis, national) hosted on five
+// simulated services with heterogeneous commit capabilities, incorporated
+// and imported into a Federation. The executables, examples and
+// benchmarks all start from this environment.
+package demo
+
+import (
+	"fmt"
+
+	"msql/internal/core"
+	"msql/internal/ldbms"
+)
+
+// Options configures the demo federation.
+type Options struct {
+	// ContinentalAutoCommit puts continental on an autocommit-only
+	// service (the §3.3 compensation scenarios).
+	ContinentalAutoCommit bool
+	// Seed drives fault-injection randomness.
+	Seed int64
+	// FlightRows and SeatRows scale the airline tables (benchmarks);
+	// zero means the paper's small example data.
+	FlightRows int
+	SeatRows   int
+}
+
+// serviceSpec declares one LDBS of the federation.
+type serviceSpec struct {
+	Service string
+	DB      string
+	Profile func() ldbms.Profile
+	DDL     []string
+}
+
+func specs(o Options) []serviceSpec {
+	contProfile := ldbms.ProfileOracleLike
+	if o.ContinentalAutoCommit {
+		contProfile = ldbms.ProfileAutoCommitOnly
+	}
+	return []serviceSpec{
+		{
+			Service: "svc_cont", DB: "continental", Profile: contProfile,
+			DDL: []string{
+				`CREATE TABLE flights (flnu INTEGER, source CHAR(20), dep CHAR(5), destination CHAR(20), arr CHAR(5), day CHAR(10), rate FLOAT)`,
+				`CREATE TABLE f838 (seatnu INTEGER, seatty CHAR(10), seatstatus CHAR(10), clientname CHAR(20))`,
+				`INSERT INTO flights VALUES
+					(100, 'Houston', '08:00', 'San Antonio', '09:00', 'mon', 100.0),
+					(101, 'Houston', '10:00', 'Dallas', '11:00', 'tue', 80.0),
+					(102, 'Austin', '12:00', 'San Antonio', '13:00', 'wed', 60.0)`,
+				`INSERT INTO f838 VALUES
+					(1, 'window', 'FREE', NULL),
+					(2, 'aisle', 'TAKEN', 'smith'),
+					(3, 'middle', 'FREE', NULL)`,
+			},
+		},
+		{
+			Service: "svc_delta", DB: "delta", Profile: ldbms.ProfileOracleLike,
+			DDL: []string{
+				`CREATE TABLE flight (fnu INTEGER, source CHAR(20), dest CHAR(20), dep CHAR(5), arr CHAR(5), day CHAR(10), rate FLOAT)`,
+				`CREATE TABLE fnu747 (snu INTEGER, sty CHAR(10), sstat CHAR(10), passname CHAR(20))`,
+				`INSERT INTO flight VALUES
+					(200, 'Houston', 'San Antonio', '09:00', '10:00', 'mon', 110.0),
+					(201, 'Dallas', 'Houston', '15:00', '16:00', 'thu', 90.0)`,
+				`INSERT INTO fnu747 VALUES (1, 'window', 'FREE', NULL), (2, 'aisle', 'FREE', NULL)`,
+			},
+		},
+		{
+			Service: "svc_unit", DB: "united", Profile: ldbms.ProfileIngresLike,
+			DDL: []string{
+				`CREATE TABLE flight (fn INTEGER, sour CHAR(20), dest CHAR(20), depa CHAR(5), arri CHAR(5), day CHAR(10), rates FLOAT)`,
+				`CREATE TABLE fn727 (sn INTEGER, st CHAR(10), sst CHAR(10), pasna CHAR(20))`,
+				`INSERT INTO flight VALUES
+					(300, 'Houston', 'San Antonio', '11:00', '12:00', 'tue', 120.0),
+					(301, 'Houston', 'Austin', '14:00', '15:00', 'fri', 70.0)`,
+				`INSERT INTO fn727 VALUES (1, 'window', 'FREE', NULL)`,
+			},
+		},
+		{
+			Service: "svc_avis", DB: "avis", Profile: ldbms.ProfileOracleLike,
+			DDL: []string{
+				`CREATE TABLE cars (code INTEGER, cartype CHAR(20), rate FLOAT, carst CHAR(12), from_d CHAR(10), to_d CHAR(10), client CHAR(20))`,
+				`INSERT INTO cars VALUES
+					(1, 'suv', 49.5, 'available', NULL, NULL, NULL),
+					(2, 'compact', 29.5, 'rented', NULL, NULL, 'smith'),
+					(3, 'luxury', 99.0, 'FREE', NULL, NULL, NULL)`,
+			},
+		},
+		{
+			Service: "svc_natl", DB: "national", Profile: ldbms.ProfileSybaseLike,
+			DDL: []string{
+				`CREATE TABLE vehicle (vcode INTEGER, vty CHAR(20), vstat CHAR(12), from_d CHAR(10), to_d CHAR(10), client CHAR(20))`,
+				`INSERT INTO vehicle VALUES
+					(11, 'sedan', 'available', NULL, NULL, NULL),
+					(12, 'truck', 'FREE', NULL, NULL, NULL)`,
+			},
+		},
+	}
+}
+
+// Build constructs the demo federation.
+func Build(o Options) (*core.Federation, error) {
+	f := core.New()
+	for _, sp := range specs(o) {
+		srv := f.AddLocalService(sp.Service, sp.Profile(), o.Seed)
+		if err := srv.CreateDatabase(sp.DB); err != nil {
+			return nil, err
+		}
+		sess, err := srv.OpenSession(sp.DB)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range sp.DDL {
+			if _, err := sess.Exec(q); err != nil {
+				return nil, fmt.Errorf("demo: bootstrap %s: %q: %w", sp.DB, q, err)
+			}
+		}
+		if err := bulkFlights(sess, sp.DB, o); err != nil {
+			return nil, err
+		}
+		if err := sess.Commit(); err != nil {
+			return nil, err
+		}
+		sess.Close()
+	}
+
+	contMode := "NOCOMMIT"
+	if o.ContinentalAutoCommit {
+		contMode = "COMMIT"
+	}
+	setup := `
+INCORPORATE SERVICE svc_cont CONNECTMODE CONNECT COMMITMODE ` + contMode + `;
+INCORPORATE SERVICE svc_delta CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_unit CONNECTMODE CONNECT COMMITMODE NOCOMMIT CREATE COMMIT DROP COMMIT;
+INCORPORATE SERVICE svc_avis CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_natl CONNECTMODE NOCONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE continental FROM SERVICE svc_cont;
+IMPORT DATABASE delta FROM SERVICE svc_delta;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+IMPORT DATABASE avis FROM SERVICE svc_avis;
+IMPORT DATABASE national FROM SERVICE svc_natl;
+`
+	if _, err := f.ExecScript(setup); err != nil {
+		return nil, fmt.Errorf("demo: incorporate/import: %w", err)
+	}
+	return f, nil
+}
+
+// bulkFlights widens the airline tables for benchmarks.
+func bulkFlights(sess *ldbms.Session, db string, o Options) error {
+	if o.FlightRows == 0 && o.SeatRows == 0 {
+		return nil
+	}
+	var flightIns, seatIns func(i int) string
+	switch db {
+	case "continental":
+		flightIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO flights VALUES (%d, 'Houston', '08:00', 'San Antonio', '09:00', 'mon', %d.0)", 1000+i, 50+i%200)
+		}
+		seatIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO f838 VALUES (%d, 'window', 'FREE', NULL)", 1000+i)
+		}
+	case "delta":
+		flightIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO flight VALUES (%d, 'Houston', 'San Antonio', '09:00', '10:00', 'mon', %d.0)", 1000+i, 55+i%200)
+		}
+		seatIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO fnu747 VALUES (%d, 'aisle', 'FREE', NULL)", 1000+i)
+		}
+	case "united":
+		flightIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO flight VALUES (%d, 'Houston', 'San Antonio', '11:00', '12:00', 'tue', %d.0)", 1000+i, 60+i%200)
+		}
+		seatIns = func(i int) string {
+			return fmt.Sprintf("INSERT INTO fn727 VALUES (%d, 'middle', 'FREE', NULL)", 1000+i)
+		}
+	default:
+		return nil
+	}
+	for i := 0; i < o.FlightRows; i++ {
+		if _, err := sess.Exec(flightIns(i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < o.SeatRows; i++ {
+		if _, err := sess.Exec(seatIns(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

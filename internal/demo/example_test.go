@@ -1,0 +1,44 @@
+package demo_test
+
+import (
+	"fmt"
+	"log"
+
+	"msql/internal/core"
+	"msql/internal/demo"
+)
+
+// ExampleBuild runs the paper's Section 2 multiple query against the demo
+// federation and prints the flattened multitable.
+func ExampleBuild() {
+	fed, err := demo.Build(demo.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := fed.ExecScript(`
+USE avis national
+LET car.type.status BE cars.cartype.carst
+                       vehicle.vty.vstat
+SELECT %code, type, ~rate
+FROM car
+WHERE status = 'available'
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Kind != core.KindSelect || r.Multitable == nil {
+			continue
+		}
+		flat, err := r.Multitable.Flatten()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range flat.Rows {
+			fmt.Printf("%s %s %s %s\n", row[0], row[1], row[2], row[3])
+		}
+	}
+	// Output:
+	// avis 1 suv 49.5
+	// national 11 sedan NULL
+}

@@ -1,0 +1,53 @@
+package demo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msql/internal/core"
+)
+
+// TestShippedScripts executes every .msql script under examples/scripts
+// against the demo federation, validating that the files the README
+// points users at actually run.
+func TestShippedScripts(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scripts")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scripts directory: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped scripts found")
+	}
+	for _, entry := range entries {
+		if filepath.Ext(entry.Name()) != ".msql" {
+			continue
+		}
+		t.Run(entry.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, entry.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed, err := Build(Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := fed.ExecScript(string(data))
+			if err != nil {
+				t.Fatalf("script failed: %v", err)
+			}
+			if len(results) == 0 {
+				t.Fatal("script produced no results")
+			}
+			for _, r := range results {
+				if r.Kind == core.KindSync && r.State != core.StateSuccess {
+					t.Fatalf("sync state = %s", r.State)
+				}
+				if r.Kind == core.KindMultiTx && r.AchievedState == nil {
+					t.Fatalf("multitransaction failed: status %d", r.Status)
+				}
+			}
+		})
+	}
+}

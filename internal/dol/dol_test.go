@@ -1,0 +1,358 @@
+package dol
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperProgram is the DOL program of Section 4.3, modulo SQL bodies.
+const paperProgram = `
+DOLBEGIN
+OPEN continental AT site1 AS cont;
+OPEN delta AT site2 AS delta;
+OPEN united AT site3 AS unit;
+TASK T1 NOCOMMIT FOR cont
+{ UPDATE flights SET rate = rate * 1.1 WHERE source = 'Houston' AND destination = 'San Antonio' }
+ENDTASK;
+TASK T2 FOR delta
+{ UPDATE flight SET rate = rate * 1.1 WHERE source = 'Houston' AND dest = 'San Antonio' }
+ENDTASK;
+TASK T3 NOCOMMIT FOR unit
+{ UPDATE flight SET rates = rates * 1.1 WHERE sour = 'Houston' AND dest = 'San Antonio' }
+ENDTASK;
+IF (T1=P) AND (T3=P) THEN
+BEGIN
+COMMIT T1, T3;
+DOLSTATUS=0;
+END;
+ELSE
+BEGIN
+ABORT T1, T3;
+DOLSTATUS=1;
+END;
+CLOSE cont delta unit;
+DOLEND
+`
+
+func TestParsePaperProgram(t *testing.T) {
+	prog, err := Parse(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 8 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	open := prog.Stmts[0].(*OpenStmt)
+	if open.Database != "continental" || open.Site != "site1" || open.Alias != "cont" {
+		t.Fatalf("open = %+v", open)
+	}
+	t1 := prog.Stmts[3].(*TaskStmt)
+	if t1.Name != "T1" || !t1.NoCommit || t1.Conn != "cont" || len(t1.Body) != 1 {
+		t.Fatalf("t1 = %+v", t1)
+	}
+	t2 := prog.Stmts[4].(*TaskStmt)
+	if t2.NoCommit {
+		t.Fatal("T2 must be an autocommit task")
+	}
+	ifs := prog.Stmts[6].(*IfStmt)
+	and, ok := ifs.Cond.(*AndCond)
+	if !ok {
+		t.Fatalf("cond = %T", ifs.Cond)
+	}
+	sc := and.L.(*StatusCond)
+	if sc.Task != "T1" || sc.Status != StatusPrepared {
+		t.Fatalf("cond.L = %+v", sc)
+	}
+	if len(ifs.Then) != 2 || len(ifs.Else) != 2 {
+		t.Fatalf("branches = %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+	commit := ifs.Then[0].(*CommitStmt)
+	if len(commit.Tasks) != 2 || commit.Tasks[1] != "T3" {
+		t.Fatalf("commit = %+v", commit)
+	}
+	if ifs.Then[1].(*StatusStmt).Code != 0 || ifs.Else[1].(*StatusStmt).Code != 1 {
+		t.Fatal("status codes wrong")
+	}
+	cl := prog.Stmts[7].(*CloseStmt)
+	if len(cl.Aliases) != 3 {
+		t.Fatalf("close = %+v", cl)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Print(prog)
+	prog2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out1)
+	}
+	out2 := Print(prog2)
+	if out1 != out2 {
+		t.Fatalf("print not stable:\n%s\n---\n%s", out1, out2)
+	}
+	for _, want := range []string{
+		"OPEN continental AT site1 AS cont;",
+		"TASK T1 NOCOMMIT FOR cont",
+		"IF (T1=P) AND (T3=P) THEN",
+		"COMMIT T1, T3;",
+		"DOLSTATUS=0;",
+		"CLOSE cont delta unit;",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("printed program missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+func TestParseShipAndAfter(t *testing.T) {
+	src := `
+DOLBEGIN
+OPEN avis AT svc4 AS a;
+OPEN national AT svc5 AS n;
+TASK T1 FOR n
+{ SELECT vcode FROM vehicle }
+ENDTASK;
+SHIP T1 TO a TABLE mtmp_x (vcode INTEGER, vty CHAR(20), price FLOAT, ok BOOLEAN);
+TASK T2 AFTER T1 FOR a
+{ INSERT INTO cars (code) SELECT vcode FROM mtmp_x }
+ENDTASK;
+CLOSE a n;
+DOLEND
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship := prog.Stmts[3].(*ShipStmt)
+	if ship.Task != "T1" || ship.To != "a" || ship.Table != "mtmp_x" || len(ship.Columns) != 4 {
+		t.Fatalf("ship = %+v", ship)
+	}
+	if ship.Columns[1].Width != 20 {
+		t.Fatalf("col width = %d", ship.Columns[1].Width)
+	}
+	t2 := prog.Stmts[4].(*TaskStmt)
+	if len(t2.After) != 1 || t2.After[0] != "T1" {
+		t.Fatalf("after = %v", t2.After)
+	}
+	// Round-trip.
+	out := Print(prog)
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	src := `
+DOLBEGIN
+IF (T1=C) AND (T2=A) OR NOT (T3=E) THEN
+BEGIN
+DOLSTATUS=2;
+END;
+DOLEND
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Stmts[0].(*IfStmt)
+	or, ok := ifs.Cond.(*OrCond)
+	if !ok {
+		t.Fatalf("cond = %T", ifs.Cond)
+	}
+	if _, ok := or.L.(*AndCond); !ok {
+		t.Fatalf("or.L = %T", or.L)
+	}
+	if _, ok := or.R.(*NotCond); !ok {
+		t.Fatalf("or.R = %T", or.R)
+	}
+	tasks := TasksIn(ifs.Cond)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+}
+
+func TestParseGroupedCondInOneParens(t *testing.T) {
+	src := "DOLBEGIN\nIF (T1=P AND T2=P) THEN BEGIN DOLSTATUS=0; END;\nDOLEND"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Stmts[0].(*IfStmt)
+	if _, ok := ifs.Cond.(*AndCond); !ok {
+		t.Fatalf("cond = %T", ifs.Cond)
+	}
+}
+
+func TestEval(t *testing.T) {
+	status := func(task string) TaskStatus {
+		switch task {
+		case "T1":
+			return StatusCommitted
+		case "T2":
+			return StatusAborted
+		default:
+			return StatusNotRun
+		}
+	}
+	rows := func(task string) int {
+		if task == "T1" {
+			return 3
+		}
+		return 0
+	}
+	c := &AndCond{
+		L: &StatusCond{Task: "T1", Status: StatusCommitted},
+		R: &NotCond{X: &StatusCond{Task: "T2", Status: StatusCommitted}},
+	}
+	if !Eval(c, status, rows) {
+		t.Fatal("condition should hold")
+	}
+	c2 := &OrCond{
+		L: &StatusCond{Task: "T1", Status: StatusAborted},
+		R: &StatusCond{Task: "T2", Status: StatusAborted},
+	}
+	if !Eval(c2, status, rows) {
+		t.Fatal("or should hold")
+	}
+	// Rows conditions.
+	if !Eval(&RowsCond{Task: "T1", MinRows: 0}, status, rows) {
+		t.Fatal("T1>0 should hold")
+	}
+	if Eval(&RowsCond{Task: "T2", MinRows: 0}, status, rows) {
+		t.Fatal("T2>0 should not hold")
+	}
+	if Eval(&RowsCond{Task: "T1", MinRows: 0}, status, nil) {
+		t.Fatal("nil rows func should fail closed")
+	}
+}
+
+func TestParseRowsCond(t *testing.T) {
+	src := "DOLBEGIN\nIF (T1=P) AND (T1>0) THEN BEGIN DOLSTATUS=0; END;\nDOLEND"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Stmts[0].(*IfStmt)
+	and := ifs.Cond.(*AndCond)
+	rc, ok := and.R.(*RowsCond)
+	if !ok || rc.Task != "T1" || rc.MinRows != 0 {
+		t.Fatalf("cond = %#v", and.R)
+	}
+	out := Print(prog)
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if tasks := TasksIn(ifs.Cond); len(tasks) != 1 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+}
+
+func TestStatusLetters(t *testing.T) {
+	for _, s := range []TaskStatus{StatusNotRun, StatusRunning, StatusPrepared, StatusCommitted, StatusAborted, StatusError} {
+		got, err := StatusFromLetter(s.Letter())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: %v, %v", s, got, err)
+		}
+	}
+	if _, err := StatusFromLetter("X"); err == nil {
+		t.Fatal("unknown letter should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DOLBEGIN",
+		"DOLBEGIN OPEN a AT s AS; DOLEND",
+		"DOLBEGIN TASK T1 FOR c { SELECT 1 ENDTASK; DOLEND",
+		"DOLBEGIN IF (T1=X) THEN BEGIN END; DOLEND",
+		"DOLBEGIN CLOSE; DOLEND",
+		"DOLBEGIN DOLSTATUS=x; DOLEND",
+		"DOLBEGIN BOGUS; DOLEND",
+		"DOLBEGIN DOLEND trailing",
+		"DOLBEGIN SHIP T1 TO a TABLE t (x BLOB); DOLEND",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMultiStatementTaskBody(t *testing.T) {
+	src := `
+DOLBEGIN
+TASK T1 FOR c
+{ CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT a FROM t }
+ENDTASK;
+DOLEND
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := prog.Stmts[0].(*TaskStmt)
+	if len(task.Body) != 3 {
+		t.Fatalf("body = %d statements", len(task.Body))
+	}
+}
+
+func TestParseSingleStatementBranch(t *testing.T) {
+	// IF with single-statement branches (no BEGIN/END).
+	src := "DOLBEGIN\nIF (T1=P) THEN DOLSTATUS=0;\nELSE DOLSTATUS=1;\nDOLEND"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Stmts[0].(*IfStmt)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("branches = %d/%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestParseNestedParenCond(t *testing.T) {
+	src := "DOLBEGIN\nIF ((T1=P) OR (T2=C)) AND NOT (T3=A) THEN BEGIN DOLSTATUS=0; END;\nDOLEND"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(prog)
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+}
+
+func TestParseCondErrors(t *testing.T) {
+	bad := []string{
+		"DOLBEGIN\nIF (T1~P) THEN BEGIN END;\nDOLEND",
+		"DOLBEGIN\nIF (T1>x) THEN BEGIN END;\nDOLEND",
+		"DOLBEGIN\nIF (T1=P THEN BEGIN END;\nDOLEND",
+		"DOLBEGIN\nIF T1=P THEN BEGIN END;\nDOLEND",
+		"DOLBEGIN\nIF (T1=P) THEN BEGIN DOLSTATUS=0;\nDOLEND",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestShipTypeNames(t *testing.T) {
+	src := "DOLBEGIN\nSHIP T1 TO a TABLE t (i INTEGER, f FLOAT, s CHAR(4), c CHAR, b BOOLEAN);\nDOLEND"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(prog)
+	for _, want := range []string{"i INTEGER", "f FLOAT", "s CHAR(4)", "c CHAR", "b BOOLEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}

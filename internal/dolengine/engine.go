@@ -1,0 +1,471 @@
+// Package dolengine executes DOL programs, playing the role of the Narada
+// engine in the paper's architecture (Figure 1). It opens connections to
+// services through LAM clients, runs tasks concurrently (tasks start as
+// soon as their AFTER dependencies settle), synchronizes at IF conditions
+// and COMMIT/ABORT statements, ships partial results between connections,
+// and reports the DOLSTATUS return code together with the final execution
+// state of every task.
+package dolengine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"msql/internal/dol"
+	"msql/internal/lam"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// Engine errors.
+var (
+	ErrUnknownSite = errors.New("dolengine: unknown site")
+	ErrUnknownConn = errors.New("dolengine: unknown connection")
+	ErrUnknownTask = errors.New("dolengine: unknown task")
+	ErrShipFailed  = errors.New("dolengine: ship source task did not succeed")
+)
+
+// Directory resolves site names to LAM clients — the Narada resource
+// directory of §4.1.
+type Directory interface {
+	Resolve(site string) (lam.Client, error)
+}
+
+// MapDirectory is a Directory backed by a map.
+type MapDirectory map[string]lam.Client
+
+// Resolve implements Directory.
+func (m MapDirectory) Resolve(site string) (lam.Client, error) {
+	c, ok := m[site]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, site)
+	}
+	return c, nil
+}
+
+// TaskInfo is the final record of one task's execution.
+type TaskInfo struct {
+	Status       dol.TaskStatus
+	Err          error
+	Result       *sqlengine.Result // last statement's result
+	RowsAffected int
+	Database     string
+	Conn         string
+}
+
+// Outcome is the result of running a program.
+type Outcome struct {
+	// Status is the DOLSTATUS return code (-1 when never set).
+	Status int
+	// Tasks maps task names to their final execution records.
+	Tasks map[string]*TaskInfo
+}
+
+// TaskStatus returns a task's final status, StatusNotRun for unknown
+// names.
+func (o *Outcome) TaskStatus(name string) dol.TaskStatus {
+	if t, ok := o.Tasks[name]; ok {
+		return t.Status
+	}
+	return dol.StatusNotRun
+}
+
+// Engine executes DOL programs.
+type Engine struct {
+	dir Directory
+}
+
+// New returns an engine over a service directory.
+func New(dir Directory) *Engine { return &Engine{dir: dir} }
+
+// conn is one open connection (session) with serialized task access.
+type conn struct {
+	mu      sync.Mutex
+	session lam.Session
+	db      string
+}
+
+// taskRT is the runtime state of one task. deps are resolved at spawn
+// time on the walker goroutine so task goroutines never touch the shared
+// task table.
+type taskRT struct {
+	stmt *dol.TaskStmt
+	info *TaskInfo
+	deps []*taskRT
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func (t *taskRT) status() dol.TaskStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.info.Status
+}
+
+func (t *taskRT) setStatus(s dol.TaskStatus, err error) {
+	t.mu.Lock()
+	t.info.Status = s
+	if err != nil && t.info.Err == nil {
+		t.info.Err = err
+	}
+	t.mu.Unlock()
+}
+
+// run carries the state of one program execution.
+type run struct {
+	eng   *Engine
+	conns map[string]*conn
+	tasks map[string]*taskRT
+	out   *Outcome
+	wg    sync.WaitGroup
+}
+
+// Run executes a program to completion and returns its outcome. The
+// returned error covers engine-level failures (unknown sites, protocol
+// errors); task-level SQL failures are reported per task in the Outcome.
+func (e *Engine) Run(prog *dol.Program) (*Outcome, error) {
+	r := &run{
+		eng:   e,
+		conns: make(map[string]*conn),
+		tasks: make(map[string]*taskRT),
+		out:   &Outcome{Status: -1, Tasks: make(map[string]*TaskInfo)},
+	}
+	err := r.execStmts(prog.Stmts)
+	r.wg.Wait()
+	// Close any connection the program forgot, rolling back leftovers.
+	for _, c := range r.conns {
+		c.mu.Lock()
+		if c.session != nil {
+			_ = c.session.Close()
+			c.session = nil
+		}
+		c.mu.Unlock()
+	}
+	if err != nil {
+		return r.out, err
+	}
+	return r.out, nil
+}
+
+func (r *run) execStmts(stmts []dol.Stmt) error {
+	for _, s := range stmts {
+		if err := r.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *run) execStmt(s dol.Stmt) error {
+	switch st := s.(type) {
+	case *dol.OpenStmt:
+		client, err := r.eng.dir.Resolve(st.Site)
+		if err != nil {
+			return err
+		}
+		sess, err := client.Open(st.Database)
+		if err != nil {
+			return fmt.Errorf("dolengine: open %s at %s: %w", st.Database, st.Site, err)
+		}
+		r.conns[st.Alias] = &conn{session: sess, db: st.Database}
+		return nil
+
+	case *dol.TaskStmt:
+		c, ok := r.conns[st.Conn]
+		if !ok {
+			return fmt.Errorf("%w: %s (task %s)", ErrUnknownConn, st.Conn, st.Name)
+		}
+		rt := &taskRT{
+			stmt: st,
+			info: &TaskInfo{Status: dol.StatusNotRun, Database: c.db, Conn: st.Conn},
+			done: make(chan struct{}),
+		}
+		for _, dep := range st.After {
+			t, ok := r.tasks[dep]
+			if !ok {
+				return fmt.Errorf("%w: %s (AFTER of %s)", ErrUnknownTask, dep, st.Name)
+			}
+			rt.deps = append(rt.deps, t)
+		}
+		r.tasks[st.Name] = rt
+		r.out.Tasks[st.Name] = rt.info
+		r.wg.Add(1)
+		go r.runTask(rt, c)
+		return nil
+
+	case *dol.ShipStmt:
+		return r.execShip(st)
+
+	case *dol.IfStmt:
+		for _, name := range dol.TasksIn(st.Cond) {
+			if err := r.waitTask(name); err != nil {
+				return err
+			}
+		}
+		holds := dol.Eval(st.Cond,
+			func(task string) dol.TaskStatus {
+				if t, ok := r.tasks[task]; ok {
+					return t.status()
+				}
+				return dol.StatusNotRun
+			},
+			func(task string) int {
+				if t, ok := r.tasks[task]; ok {
+					t.mu.Lock()
+					defer t.mu.Unlock()
+					return t.info.RowsAffected
+				}
+				return 0
+			})
+		if holds {
+			return r.execStmts(st.Then)
+		}
+		return r.execStmts(st.Else)
+
+	case *dol.CommitStmt:
+		for _, name := range st.Tasks {
+			if err := r.commitTask(name); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *dol.AbortStmt:
+		for _, name := range st.Tasks {
+			if err := r.abortTask(name); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *dol.StatusStmt:
+		r.out.Status = st.Code
+		return nil
+
+	case *dol.CloseStmt:
+		for _, alias := range st.Aliases {
+			c, ok := r.conns[alias]
+			if !ok {
+				return fmt.Errorf("%w: %s", ErrUnknownConn, alias)
+			}
+			// Wait for tasks using this connection before closing it.
+			for _, t := range r.tasks {
+				if t.stmt.Conn == alias {
+					<-t.done
+				}
+			}
+			c.mu.Lock()
+			if c.session != nil {
+				_ = c.session.Close()
+				c.session = nil
+			}
+			c.mu.Unlock()
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("dolengine: unsupported statement %T", s)
+	}
+}
+
+// runTask executes one task's body on its connection.
+func (r *run) runTask(rt *taskRT, c *conn) {
+	defer r.wg.Done()
+	defer close(rt.done)
+
+	// Honor AFTER dependencies.
+	for _, dep := range rt.deps {
+		<-dep.done
+	}
+	rt.setStatus(dol.StatusRunning, nil)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.session == nil {
+		rt.setStatus(dol.StatusError, fmt.Errorf("dolengine: connection %s closed", rt.stmt.Conn))
+		return
+	}
+	for _, stmt := range rt.stmt.Body {
+		res, err := c.session.Exec(sqlparser.Deparse(stmt))
+		if err != nil {
+			rt.setStatus(dol.StatusAborted, err)
+			return
+		}
+		rt.mu.Lock()
+		// Keep the last row-producing result: cleanup statements (e.g. a
+		// trailing DROP of shipped temp tables) must not mask the query
+		// result the plan exists to produce.
+		if len(res.Columns) > 0 || rt.info.Result == nil {
+			rt.info.Result = res
+		}
+		rt.info.RowsAffected += res.RowsAffected
+		rt.mu.Unlock()
+	}
+	if rt.stmt.NoCommit {
+		if err := c.session.Prepare(); err != nil {
+			rt.setStatus(dol.StatusAborted, err)
+			return
+		}
+		rt.setStatus(dol.StatusPrepared, nil)
+		return
+	}
+	if err := c.session.Commit(); err != nil {
+		rt.setStatus(dol.StatusAborted, err)
+		return
+	}
+	rt.setStatus(dol.StatusCommitted, nil)
+}
+
+func (r *run) waitTask(name string) error {
+	t, ok := r.tasks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	<-t.done
+	return nil
+}
+
+// commitTask commits a prepared task. Committing an already committed
+// task is a no-op; committing an aborted task leaves it aborted.
+func (r *run) commitTask(name string) error {
+	t, ok := r.tasks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	<-t.done
+	if t.status() != dol.StatusPrepared {
+		return nil
+	}
+	c := r.conns[t.stmt.Conn]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.session == nil {
+		t.setStatus(dol.StatusError, fmt.Errorf("dolengine: connection %s closed before commit", t.stmt.Conn))
+		return nil
+	}
+	if err := c.session.Commit(); err != nil {
+		t.setStatus(dol.StatusAborted, err)
+		return nil
+	}
+	t.setStatus(dol.StatusCommitted, nil)
+	return nil
+}
+
+// abortTask rolls back a prepared or running task's session. Aborting a
+// committed task is a no-op (compensation handles that case).
+func (r *run) abortTask(name string) error {
+	t, ok := r.tasks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	<-t.done
+	st := t.status()
+	if st != dol.StatusPrepared {
+		return nil
+	}
+	c := r.conns[t.stmt.Conn]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.session == nil {
+		return nil
+	}
+	if err := c.session.Rollback(); err != nil {
+		t.setStatus(dol.StatusError, err)
+		return nil
+	}
+	t.setStatus(dol.StatusAborted, nil)
+	return nil
+}
+
+// execShip creates the destination table and copies the source task's
+// result rows into it, inside the destination session's open transaction.
+func (r *run) execShip(st *dol.ShipStmt) error {
+	src, ok := r.tasks[st.Task]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, st.Task)
+	}
+	<-src.done
+	status := src.status()
+	if status != dol.StatusPrepared && status != dol.StatusCommitted {
+		return fmt.Errorf("%w: task %s is %s", ErrShipFailed, st.Task, status)
+	}
+	c, ok := r.conns[st.To]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, st.To)
+	}
+	src.mu.Lock()
+	result := src.info.Result
+	src.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.session == nil {
+		return fmt.Errorf("dolengine: connection %s closed before ship", st.To)
+	}
+	var create strings.Builder
+	create.WriteString("CREATE TABLE ")
+	create.WriteString(st.Table)
+	create.WriteString(" (")
+	for i, col := range st.Columns {
+		if i > 0 {
+			create.WriteString(", ")
+		}
+		create.WriteString(col.Name)
+		create.WriteString(" ")
+		create.WriteString(typeNameOf(col))
+	}
+	create.WriteString(")")
+	if _, err := c.session.Exec(create.String()); err != nil {
+		return fmt.Errorf("dolengine: ship create: %w", err)
+	}
+	if result == nil || len(result.Rows) == 0 {
+		return nil
+	}
+	const batch = 64
+	for start := 0; start < len(result.Rows); start += batch {
+		end := start + batch
+		if end > len(result.Rows) {
+			end = len(result.Rows)
+		}
+		var ins strings.Builder
+		ins.WriteString("INSERT INTO ")
+		ins.WriteString(st.Table)
+		ins.WriteString(" VALUES ")
+		for ri, row := range result.Rows[start:end] {
+			if ri > 0 {
+				ins.WriteString(", ")
+			}
+			ins.WriteString("(")
+			for vi, v := range row {
+				if vi > 0 {
+					ins.WriteString(", ")
+				}
+				ins.WriteString(v.SQL())
+			}
+			ins.WriteString(")")
+		}
+		if _, err := c.session.Exec(ins.String()); err != nil {
+			return fmt.Errorf("dolengine: ship insert: %w", err)
+		}
+	}
+	return nil
+}
+
+func typeNameOf(c sqlparser.ColumnDef) string {
+	switch c.Type {
+	case sqlval.KindInt:
+		return "INTEGER"
+	case sqlval.KindFloat:
+		return "FLOAT"
+	case sqlval.KindBool:
+		return "BOOLEAN"
+	default:
+		if c.Width > 0 {
+			return fmt.Sprintf("CHAR(%d)", c.Width)
+		}
+		return "CHAR"
+	}
+}

@@ -1,0 +1,122 @@
+// Package lam implements the Local Access Managers of the paper's
+// architecture (Figure 1): the components that give the DOL engine
+// transparent access to heterogeneous local DBMSs. A LAM exposes the same
+// Client/Session interface over two transports — direct in-process calls
+// and gob-over-TCP — so evaluation plans run identically against local
+// and remote services.
+package lam
+
+import (
+	"msql/internal/ldbms"
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+)
+
+// Session is one open connection to a database behind a LAM, carrying an
+// implicit transaction driven by the evaluation plan.
+type Session interface {
+	// Exec runs one SQL statement on the local database.
+	Exec(sql string) (*sqlengine.Result, error)
+	// Prepare enters the prepared-to-commit state (2PC servers only).
+	Prepare() error
+	// Commit commits the open transaction.
+	Commit() error
+	// Rollback aborts the open transaction.
+	Rollback() error
+	// State reports the observable session state.
+	State() (ldbms.SessionState, error)
+	// Database names the connected database.
+	Database() string
+	// Close releases the session, rolling back uncommitted work.
+	Close() error
+}
+
+// Client is the access point for one incorporated service.
+type Client interface {
+	// ServiceName returns the service's name in the federation.
+	ServiceName() string
+	// Profile reports the service's commit/connect capabilities.
+	Profile() (ldbms.Profile, error)
+	// Open starts a session on a database.
+	Open(db string) (Session, error)
+	// Describe reports the schema of a table or view, for IMPORT.
+	Describe(db, name string) ([]relstore.Column, error)
+	// ListTables lists the public tables of a database.
+	ListTables(db string) ([]string, error)
+	// ListViews lists the views of a database.
+	ListViews(db string) ([]string, error)
+	// Close releases the client.
+	Close() error
+}
+
+// Local is the in-process transport: a Client wired directly to an
+// ldbms.Server in the same address space.
+type Local struct {
+	srv *ldbms.Server
+}
+
+// NewLocal wraps a server as an in-process LAM client.
+func NewLocal(srv *ldbms.Server) *Local { return &Local{srv: srv} }
+
+// ServiceName implements Client.
+func (l *Local) ServiceName() string { return l.srv.Name() }
+
+// Profile implements Client.
+func (l *Local) Profile() (ldbms.Profile, error) { return l.srv.Profile(), nil }
+
+// Open implements Client.
+func (l *Local) Open(db string) (Session, error) {
+	s, err := l.srv.OpenSession(db)
+	if err != nil {
+		return nil, err
+	}
+	return &localSession{sess: s}, nil
+}
+
+// Describe implements Client.
+func (l *Local) Describe(db, name string) ([]relstore.Column, error) {
+	s, err := l.srv.OpenSession(db)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Describe(name)
+}
+
+// ListTables implements Client.
+func (l *Local) ListTables(db string) ([]string, error) {
+	s, err := l.srv.OpenSession(db)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.ListTables()
+}
+
+// ListViews implements Client.
+func (l *Local) ListViews(db string) ([]string, error) {
+	s, err := l.srv.OpenSession(db)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.ListViews()
+}
+
+// Close implements Client.
+func (l *Local) Close() error { return nil }
+
+type localSession struct {
+	sess *ldbms.Session
+}
+
+func (s *localSession) Exec(sql string) (*sqlengine.Result, error) { return s.sess.Exec(sql) }
+func (s *localSession) Prepare() error                             { return s.sess.Prepare() }
+func (s *localSession) Commit() error                              { return s.sess.Commit() }
+func (s *localSession) Rollback() error                            { return s.sess.Rollback() }
+func (s *localSession) State() (ldbms.SessionState, error)         { return s.sess.State(), nil }
+func (s *localSession) Database() string                           { return s.sess.Database() }
+func (s *localSession) Close() error {
+	s.sess.Close()
+	return nil
+}

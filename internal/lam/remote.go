@@ -1,0 +1,184 @@
+package lam
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+
+	"msql/internal/ldbms"
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlval"
+	"msql/internal/wire"
+)
+
+// Remote is the TCP transport client. Control operations share one base
+// connection; every session gets its own connection so that parallel
+// tasks in an evaluation plan do not serialize on a socket.
+type Remote struct {
+	addr    string
+	service string
+
+	mu   sync.Mutex
+	base *rpcConn
+}
+
+// rpcConn is one gob request/response channel.
+type rpcConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dialConn(addr string) (*rpcConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &rpcConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *rpcConn) call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *rpcConn) close() error { return c.conn.Close() }
+
+// Dial connects to a LAM TCP server.
+func Dial(addr string) (*Remote, error) {
+	base, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := base.call(&wire.Request{Kind: wire.ReqHello})
+	if err != nil {
+		base.close()
+		return nil, err
+	}
+	return &Remote{addr: addr, service: resp.ServiceNm, base: base}, nil
+}
+
+// ServiceName implements Client.
+func (r *Remote) ServiceName() string { return r.service }
+
+// Profile implements Client.
+func (r *Remote) Profile() (ldbms.Profile, error) {
+	resp, err := r.base.call(&wire.Request{Kind: wire.ReqProfile})
+	if err != nil {
+		return ldbms.Profile{}, err
+	}
+	return resp.Profile.ToProfile(), nil
+}
+
+// Open implements Client: it dials a dedicated connection for the session.
+func (r *Remote) Open(db string) (Session, error) {
+	conn, err := dialConn(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.call(&wire.Request{Kind: wire.ReqOpen, Database: db})
+	if err != nil {
+		conn.close()
+		return nil, err
+	}
+	return &remoteSession{conn: conn, id: resp.SessionID, db: db}, nil
+}
+
+// Describe implements Client.
+func (r *Remote) Describe(db, name string) ([]relstore.Column, error) {
+	resp, err := r.base.call(&wire.Request{Kind: wire.ReqDescribe, Database: db, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return wire.ToRelstoreColumns(resp.Columns), nil
+}
+
+// ListTables implements Client.
+func (r *Remote) ListTables(db string) ([]string, error) {
+	resp, err := r.base.call(&wire.Request{Kind: wire.ReqListTables, Database: db})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// ListViews implements Client.
+func (r *Remote) ListViews(db string) ([]string, error) {
+	resp, err := r.base.call(&wire.Request{Kind: wire.ReqListViews, Database: db})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Close implements Client.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base.close()
+}
+
+type remoteSession struct {
+	conn *rpcConn
+	id   int64
+	db   string
+}
+
+func (s *remoteSession) Exec(sql string) (*sqlengine.Result, error) {
+	resp, err := s.conn.call(&wire.Request{Kind: wire.ReqExec, SessionID: s.id, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	res := &sqlengine.Result{RowsAffected: resp.Result.RowsAffected, Rows: resp.Result.Rows}
+	for _, c := range resp.Result.Columns {
+		res.Columns = append(res.Columns, sqlengine.ResultCol{Name: c.Name, Type: sqlval.Kind(c.Type)})
+	}
+	return res, nil
+}
+
+func (s *remoteSession) Prepare() error {
+	_, err := s.conn.call(&wire.Request{Kind: wire.ReqPrepare, SessionID: s.id})
+	return err
+}
+
+func (s *remoteSession) Commit() error {
+	_, err := s.conn.call(&wire.Request{Kind: wire.ReqCommit, SessionID: s.id})
+	return err
+}
+
+func (s *remoteSession) Rollback() error {
+	_, err := s.conn.call(&wire.Request{Kind: wire.ReqRollback, SessionID: s.id})
+	return err
+}
+
+func (s *remoteSession) State() (ldbms.SessionState, error) {
+	resp, err := s.conn.call(&wire.Request{Kind: wire.ReqState, SessionID: s.id})
+	if err != nil {
+		return 0, err
+	}
+	return ldbms.SessionState(resp.State), nil
+}
+
+func (s *remoteSession) Database() string { return s.db }
+
+func (s *remoteSession) Close() error {
+	_, err := s.conn.call(&wire.Request{Kind: wire.ReqCloseSession, SessionID: s.id})
+	cerr := s.conn.close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

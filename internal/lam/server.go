@@ -1,0 +1,222 @@
+package lam
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"msql/internal/ldbms"
+	"msql/internal/wire"
+)
+
+// TCPServer serves a local DBMS over the wire protocol. Each accepted
+// connection runs its own request loop with its own session table, so one
+// remote client session maps to one connection and parallel tasks do not
+// serialize on a shared socket.
+type TCPServer struct {
+	srv *ldbms.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving srv on a fresh listener at addr (use "127.0.0.1:0"
+// for an ephemeral port) and returns immediately.
+func Serve(addr string, srv *ldbms.Server) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listen address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	err := t.ln.Close()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.handle(conn)
+	}
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	sessions := make(map[int64]*ldbms.Session)
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	var nextID int64
+
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		resp := t.dispatch(&req, sessions, &nextID)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (t *TCPServer) dispatch(req *wire.Request, sessions map[int64]*ldbms.Session, nextID *int64) *wire.Response {
+	resp := &wire.Response{}
+	fail := func(err error) *wire.Response {
+		resp.ErrCode, resp.ErrMsg = wire.EncodeError(err)
+		return resp
+	}
+	session := func() (*ldbms.Session, bool) {
+		s, ok := sessions[req.SessionID]
+		return s, ok
+	}
+
+	switch req.Kind {
+	case wire.ReqHello:
+		resp.ServiceNm = t.srv.Name()
+	case wire.ReqProfile:
+		resp.Profile = wire.FromProfile(t.srv.Profile())
+		resp.ServiceNm = t.srv.Name()
+	case wire.ReqOpen:
+		s, err := t.srv.OpenSession(req.Database)
+		if err != nil {
+			return fail(err)
+		}
+		*nextID++
+		sessions[*nextID] = s
+		resp.SessionID = *nextID
+	case wire.ReqExec:
+		s, ok := session()
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		res, err := s.Exec(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		wres := &wire.Result{RowsAffected: res.RowsAffected, Rows: res.Rows}
+		for _, c := range res.Columns {
+			wres.Columns = append(wres.Columns, wire.Column{Name: c.Name, Type: uint8(c.Type)})
+		}
+		resp.Result = wres
+	case wire.ReqPrepare:
+		s, ok := session()
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		if err := s.Prepare(); err != nil {
+			return fail(err)
+		}
+	case wire.ReqCommit:
+		s, ok := session()
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		if err := s.Commit(); err != nil {
+			return fail(err)
+		}
+	case wire.ReqRollback:
+		s, ok := session()
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		if err := s.Rollback(); err != nil {
+			return fail(err)
+		}
+	case wire.ReqState:
+		s, ok := session()
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		resp.State = uint8(s.State())
+	case wire.ReqCloseSession:
+		if s, ok := session(); ok {
+			s.Close()
+			delete(sessions, req.SessionID)
+		}
+	case wire.ReqDescribe:
+		s, err := t.srv.OpenSession(req.Database)
+		if err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		cols, err := s.Describe(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Columns = wire.FromRelstoreColumns(cols)
+	case wire.ReqListTables:
+		s, err := t.srv.OpenSession(req.Database)
+		if err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		names, err := s.ListTables()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Names = names
+	case wire.ReqListViews:
+		s, err := t.srv.OpenSession(req.Database)
+		if err != nil {
+			return fail(err)
+		}
+		defer s.Close()
+		names, err := s.ListViews()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Names = names
+	default:
+		return fail(errors.New("lam: unknown request kind"))
+	}
+	return resp
+}

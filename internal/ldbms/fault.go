@@ -1,0 +1,121 @@
+package ldbms
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultOp is the execution point a fault fires at.
+type FaultOp uint8
+
+// Fault points.
+const (
+	FaultExec FaultOp = iota
+	FaultPrepare
+	FaultCommit
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case FaultExec:
+		return "exec"
+	case FaultPrepare:
+		return "prepare"
+	case FaultCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("FaultOp(%d)", uint8(op))
+	}
+}
+
+// ErrInjected marks failures produced by the injector; callers can
+// distinguish them from genuine engine errors.
+var ErrInjected = errors.New("ldbms: injected fault")
+
+// FaultRule describes one failure to inject. A rule matches when the
+// operation and database agree (empty Database matches all), it then fires
+// deterministically after Skip more matching calls, or randomly with
+// Probability when Probability > 0. Once fired, one-shot rules are
+// removed.
+type FaultRule struct {
+	Op          FaultOp
+	Database    string
+	Skip        int     // number of matching calls to let through first
+	Probability float64 // 0 => deterministic one-shot
+	Sticky      bool    // keep firing instead of one-shot
+	Message     string
+}
+
+// FaultInjector holds the active rules of one server.
+type FaultInjector struct {
+	mu    sync.Mutex
+	rules []*FaultRule
+	rng   *rand.Rand
+	fired int
+}
+
+// NewFaultInjector returns an injector whose probabilistic rules draw from
+// the given seed, keeping experiments reproducible.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add installs a rule.
+func (f *FaultInjector) Add(rule FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := rule
+	f.rules = append(f.rules, &r)
+}
+
+// Clear removes all rules.
+func (f *FaultInjector) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Fired reports how many faults have fired.
+func (f *FaultInjector) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Check consults the rules for an (op, database) event. It returns an
+// error when a fault fires.
+func (f *FaultInjector) Check(op FaultOp, database string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Database != "" && r.Database != database {
+			continue
+		}
+		if r.Probability > 0 {
+			if f.rng.Float64() >= r.Probability {
+				return nil
+			}
+		} else if r.Skip > 0 {
+			r.Skip--
+			continue
+		}
+		if !r.Sticky && r.Probability == 0 {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+		}
+		f.fired++
+		msg := r.Message
+		if msg == "" {
+			msg = "local failure"
+		}
+		return fmt.Errorf("%w: %s at %s on %s", ErrInjected, msg, op, database)
+	}
+	return nil
+}

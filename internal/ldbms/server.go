@@ -1,0 +1,149 @@
+package ldbms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"msql/internal/relstore"
+)
+
+// Server errors.
+var (
+	ErrNoTwoPC      = errors.New("ldbms: server does not support two-phase commit")
+	ErrNoConnect    = errors.New("ldbms: server supports a single default database only")
+	ErrSessionState = errors.New("ldbms: invalid session state for operation")
+)
+
+// Stats counts server operations for the benchmark harness.
+type Stats struct {
+	Execs         int64
+	Commits       int64
+	SilentCommits int64 // commits forced by autocommit classes
+	Rollbacks     int64
+	Prepares      int64
+}
+
+// Server simulates one local DBMS product instance.
+type Server struct {
+	name    string
+	profile Profile
+	store   *relstore.Store
+	faults  *FaultInjector
+
+	mu        sync.Mutex
+	defaultDB string
+	stats     Stats
+	latency   time.Duration
+}
+
+// NewServer creates a server with the given capability profile. seed
+// drives probabilistic fault injection.
+func NewServer(name string, profile Profile, seed int64) *Server {
+	return &Server{
+		name:    name,
+		profile: profile.Clone(),
+		store:   relstore.NewStore(),
+		faults:  NewFaultInjector(seed),
+	}
+}
+
+// Name returns the service name.
+func (s *Server) Name() string { return s.name }
+
+// Profile returns the server's capability profile.
+func (s *Server) Profile() Profile { return s.profile.Clone() }
+
+// Store exposes the underlying storage for bootstrap and inspection.
+func (s *Server) Store() *relstore.Store { return s.store }
+
+// Faults exposes the fault injector.
+func (s *Server) Faults() *FaultInjector { return s.faults }
+
+// Stats returns a snapshot of operation counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters.
+func (s *Server) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// CreateDatabase creates a database on the server. On NOCONNECT servers
+// only the first database — the default one — may be created.
+func (s *Server) CreateDatabase(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.profile.MultiDatabase && s.defaultDB != "" && s.defaultDB != name {
+		return fmt.Errorf("%w (default %q)", ErrNoConnect, s.defaultDB)
+	}
+	if err := s.store.CreateDatabase(name); err != nil {
+		return err
+	}
+	if s.defaultDB == "" {
+		s.defaultDB = name
+	}
+	return nil
+}
+
+// DefaultDatabase returns the NOCONNECT default database name.
+func (s *Server) DefaultDatabase() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.defaultDB
+}
+
+// Databases lists the databases hosted by the server.
+func (s *Server) Databases() []string { return s.store.DatabaseNames() }
+
+// OpenSession connects to a database. On NOCONNECT servers db may be
+// empty or must equal the default database.
+func (s *Server) OpenSession(db string) (*Session, error) {
+	s.mu.Lock()
+	defaultDB := s.defaultDB
+	multi := s.profile.MultiDatabase
+	s.mu.Unlock()
+	if !multi {
+		if db == "" {
+			db = defaultDB
+		}
+		if db != defaultDB {
+			return nil, fmt.Errorf("%w: cannot connect to %q (default %q)", ErrNoConnect, db, defaultDB)
+		}
+	}
+	if _, err := s.store.Database(db); err != nil {
+		return nil, err
+	}
+	return &Session{srv: s, db: db}, nil
+}
+
+func (s *Server) bump(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// SetLatency configures a simulated per-operation service latency, the
+// stand-in for a remote site's network and service time. Zero disables
+// it.
+func (s *Server) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+// simulateLatency sleeps the configured per-operation latency.
+func (s *Server) simulateLatency() {
+	s.mu.Lock()
+	d := s.latency
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

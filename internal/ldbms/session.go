@@ -1,0 +1,255 @@
+package ldbms
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlparser"
+)
+
+// SessionState is the observable transaction state of a session. Prepared
+// is the visible prepared-to-commit state the paper's evaluation plans
+// test with conditions like (T1=P).
+type SessionState uint8
+
+// Session states.
+const (
+	StateIdle SessionState = iota // no open transaction
+	StateActive
+	StatePrepared
+	StateCommitted // last transaction committed
+	StateAborted   // last transaction rolled back
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateActive:
+		return "active"
+	case StatePrepared:
+		return "prepared"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("SessionState(%d)", uint8(s))
+	}
+}
+
+// Session is one connection to a server's database. Statements accumulate
+// in an implicit transaction; the profile decides when the server commits
+// on its own.
+type Session struct {
+	srv *Server
+	db  string
+
+	mu          sync.Mutex
+	tx          *relstore.Tx
+	state       SessionState
+	lockTimeout time.Duration
+}
+
+// Database returns the connected database name.
+func (s *Session) Database() string { return s.db }
+
+// State returns the session's transaction state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// SetLockTimeout overrides the lock wait budget for subsequent
+// transactions (tests use short timeouts to simulate deadlocks quickly).
+func (s *Session) SetLockTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockTimeout = d
+}
+
+func (s *Session) beginLocked() *relstore.Tx {
+	tx := s.srv.store.Begin()
+	if s.lockTimeout > 0 {
+		tx.LockTimeout = s.lockTimeout
+	}
+	s.tx = tx
+	s.state = StateActive
+	return tx
+}
+
+// Exec parses and executes one SQL statement. Errors abort the open
+// transaction, mirroring an LDBMS that aborts its local subquery on
+// failure. BEGIN/COMMIT/ROLLBACK statements map onto the session's
+// transaction control.
+func (s *Session) Exec(sql string) (*sqlengine.Result, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sqlparser.BeginStmt:
+		s.mu.Lock()
+		if s.tx == nil {
+			s.beginLocked()
+		}
+		s.mu.Unlock()
+		return &sqlengine.Result{}, nil
+	case *sqlparser.CommitStmt:
+		return &sqlengine.Result{}, s.Commit()
+	case *sqlparser.RollbackStmt:
+		return &sqlengine.Result{}, s.Rollback()
+	}
+	return s.execStmt(sql, stmt)
+}
+
+func (s *Session) execStmt(sql string, stmt sqlparser.Statement) (*sqlengine.Result, error) {
+	s.srv.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StatePrepared {
+		return nil, fmt.Errorf("%w: exec while prepared", ErrSessionState)
+	}
+	if err := s.srv.faults.Check(FaultExec, s.db); err != nil {
+		s.abortLocked()
+		return nil, err
+	}
+	if s.tx == nil {
+		s.beginLocked()
+	}
+	s.srv.bump(func(st *Stats) { st.Execs++ })
+	res, err := sqlengine.Execute(s.tx, s.db, stmt)
+	if err != nil {
+		s.abortLocked()
+		return nil, err
+	}
+	class := ClassifySQL(sql)
+	if s.srv.profile.AutoCommits(class) && class != ClassSelect {
+		// The server commits on its own: the statement itself and every
+		// previously issued uncommitted statement become durable.
+		if err := s.tx.Commit(); err != nil {
+			s.abortLocked()
+			return nil, err
+		}
+		s.tx = nil
+		s.state = StateCommitted
+		s.srv.bump(func(st *Stats) { st.Commits++; st.SilentCommits++ })
+	}
+	return res, nil
+}
+
+// Prepare moves the open transaction to the prepared-to-commit state.
+// Servers without a 2PC interface refuse.
+func (s *Session) Prepare() error {
+	s.srv.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.srv.profile.TwoPC {
+		return fmt.Errorf("%w (%s)", ErrNoTwoPC, s.srv.profile.Name)
+	}
+	if err := s.srv.faults.Check(FaultPrepare, s.db); err != nil {
+		s.abortLocked()
+		return err
+	}
+	if s.tx == nil {
+		// Nothing pending (e.g. everything was autocommitted): prepare an
+		// empty transaction so the protocol can proceed uniformly.
+		s.beginLocked()
+	}
+	if err := s.tx.Prepare(); err != nil {
+		return err
+	}
+	s.state = StatePrepared
+	s.srv.bump(func(st *Stats) { st.Prepares++ })
+	return nil
+}
+
+// Commit commits the open transaction (from active or prepared state).
+func (s *Session) Commit() error {
+	s.srv.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx == nil {
+		return nil // nothing pending; autocommit already made it durable
+	}
+	if err := s.srv.faults.Check(FaultCommit, s.db); err != nil {
+		s.abortLocked()
+		return err
+	}
+	if err := s.tx.Commit(); err != nil {
+		return err
+	}
+	s.tx = nil
+	s.state = StateCommitted
+	s.srv.bump(func(st *Stats) { st.Commits++ })
+	return nil
+}
+
+// Rollback aborts the open transaction.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx == nil {
+		s.state = StateAborted
+		return nil
+	}
+	s.abortLocked()
+	return nil
+}
+
+func (s *Session) abortLocked() {
+	if s.tx != nil {
+		_ = s.tx.Rollback()
+		s.tx = nil
+		s.srv.bump(func(st *Stats) { st.Rollbacks++ })
+	}
+	s.state = StateAborted
+}
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		s.abortLocked()
+	}
+}
+
+// Describe reports the schema of a table or view, for IMPORT.
+func (s *Session) Describe(name string) ([]relstore.Column, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := s.tx
+	temp := false
+	if tx == nil {
+		tx = s.srv.store.Begin()
+		temp = true
+	}
+	cols, err := sqlengine.DescribeTable(tx, s.db, name)
+	if temp {
+		_ = tx.Rollback()
+	}
+	return cols, err
+}
+
+// ListTables returns the table names of the connected database.
+func (s *Session) ListTables() ([]string, error) {
+	d, err := s.srv.store.Database(s.db)
+	if err != nil {
+		return nil, err
+	}
+	return d.TableNames(), nil
+}
+
+// ListViews returns the view names of the connected database.
+func (s *Session) ListViews() ([]string, error) {
+	d, err := s.srv.store.Database(s.db)
+	if err != nil {
+		return nil, err
+	}
+	return d.ViewNames(), nil
+}

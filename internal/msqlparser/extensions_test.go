@@ -1,0 +1,105 @@
+package msqlparser
+
+import (
+	"testing"
+
+	"msql/internal/sqlparser"
+)
+
+func TestParseMultidatabase(t *testing.T) {
+	s := mustParse(t, "CREATE MULTIDATABASE airlines (continental, delta, united)")
+	md := s.Stmts[0].(*CreateMultidatabaseStmt)
+	if md.Name != "airlines" || len(md.Members) != 3 || md.Members[2] != "united" {
+		t.Fatalf("md = %+v", md)
+	}
+	s = mustParse(t, "DROP MULTIDATABASE airlines")
+	if s.Stmts[0].(*DropMultidatabaseStmt).Name != "airlines" {
+		t.Fatal("drop name wrong")
+	}
+}
+
+func TestParseMultiview(t *testing.T) {
+	s := mustParse(t, "CREATE MULTIVIEW v AS SELECT %code FROM car% WHERE status = 'available'")
+	mv := s.Stmts[0].(*CreateMultiviewStmt)
+	if mv.Name != "v" {
+		t.Fatalf("mv = %+v", mv)
+	}
+	sel := mv.Body.(*sqlparser.SelectStmt)
+	if len(sel.Items) != 1 {
+		t.Fatalf("body = %+v", sel)
+	}
+	s = mustParse(t, "DROP MULTIVIEW v")
+	if s.Stmts[0].(*DropMultiviewStmt).Name != "v" {
+		t.Fatal("drop name wrong")
+	}
+}
+
+func TestParseTrigger(t *testing.T) {
+	s := mustParse(t, `CREATE TRIGGER audit ON delta AFTER UPDATE EXECUTE
+INSERT INTO log (what) VALUES ('x')`)
+	tr := s.Stmts[0].(*CreateTriggerStmt)
+	if tr.Name != "audit" || tr.Database != "delta" || tr.Event != "UPDATE" {
+		t.Fatalf("trigger = %+v", tr)
+	}
+	if _, ok := tr.Body.Body.(*sqlparser.InsertStmt); !ok {
+		t.Fatalf("body = %T", tr.Body.Body)
+	}
+	s = mustParse(t, "DROP TRIGGER audit")
+	if s.Stmts[0].(*DropTriggerStmt).Name != "audit" {
+		t.Fatal("drop name wrong")
+	}
+}
+
+func TestParseTriggerEvents(t *testing.T) {
+	for _, ev := range []string{"UPDATE", "INSERT", "DELETE", "CREATE", "DROP"} {
+		s := mustParse(t, "CREATE TRIGGER t ON d AFTER "+ev+" EXECUTE UPDATE x SET a = 1")
+		if got := s.Stmts[0].(*CreateTriggerStmt).Event; got != ev {
+			t.Fatalf("event = %s, want %s", got, ev)
+		}
+	}
+}
+
+func TestParseExtensionErrors(t *testing.T) {
+	bad := []string{
+		"CREATE MULTIDATABASE m",                                   // no members
+		"CREATE MULTIDATABASE m ()",                                // empty members
+		"CREATE MULTIVIEW v SELECT 1",                              // missing AS
+		"CREATE TRIGGER t ON d AFTER EXECUTE",                      // missing event
+		"CREATE TRIGGER t AFTER UPDATE EXECUTE UPDATE x SET a = 1", // missing ON
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	// Plain CREATE TABLE still parses through the SQL grammar.
+	s := mustParse(t, "CREATE TABLE t (a INTEGER)")
+	if _, ok := s.Stmts[0].(*QueryStmt); !ok {
+		t.Fatalf("stmt = %T", s.Stmts[0])
+	}
+}
+
+func TestParseTransformationDesignators(t *testing.T) {
+	s := mustParse(t, "LET car.usd BE cars.(rate * 0.85) vehicle.(vrate)")
+	b := s.Stmts[0].(*LetStmt).Bindings[0]
+	if len(b.Designators) != 2 {
+		t.Fatalf("designators = %+v", b.Designators)
+	}
+	d0 := b.Designators[0]
+	if d0.Parts[0].Name != "cars" || !d0.Parts[1].IsExpr() {
+		t.Fatalf("d0 = %+v", d0)
+	}
+	names := d0.Names()
+	if names[1] != "(rate * 0.85)" {
+		t.Fatalf("names = %v", names)
+	}
+	// Errors: unterminated expression, missing part.
+	for _, src := range []string{
+		"LET a.b BE cars.(rate",
+		"LET a.b BE cars.",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package msqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanicsOnNoise feeds the MSQL parser seeded random token
+// soup; parse errors are fine, panics are not.
+func TestParserNeverPanicsOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	words := []string{
+		"USE", "LET", "BE", "SELECT", "FROM", "WHERE", "UPDATE", "SET",
+		"INSERT", "INTO", "VALUES", "DELETE", "COMP", "VITAL", "BEGIN",
+		"MULTITRANSACTION", "COMMIT", "END", "AND", "OR", "NOT",
+		"INCORPORATE", "SERVICE", "IMPORT", "DATABASE", "TABLE", "COLUMN",
+		"CREATE", "DROP", "MULTIVIEW", "TRIGGER", "EFFECTIVE",
+		"flight%", "%code", "~rate", "avis", "t1", "x.y.z", "(", ")", ",",
+		";", ".", "=", "*", "'str'", "42", "1.1", "{", "}", "<", ">",
+	}
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(20)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(words[rng.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnBytes throws raw byte noise at the lexer/parser.
+func TestParserNeverPanicsOnBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(128))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

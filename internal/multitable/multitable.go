@@ -1,0 +1,131 @@
+// Package multitable implements MSQL's result representation: a multiple
+// query returns a multitable — a set of tables, one per elementary query,
+// each generated as a partial result by the accessed database (§2 of the
+// paper). A multitable can be flattened into a single table for display,
+// aligning columns positionally and labelling them with the first
+// table's names.
+package multitable
+
+import (
+	"fmt"
+	"strings"
+
+	"msql/internal/sqlengine"
+	"msql/internal/sqlval"
+)
+
+// Table is one member of a multitable, labelled with its origin.
+type Table struct {
+	Database string
+	Columns  []sqlengine.ResultCol
+	Rows     [][]sqlval.Value
+}
+
+// Multitable is a set of tables produced by one multiple query.
+type Multitable struct {
+	Tables []Table
+}
+
+// Empty reports whether no table carries any column.
+func (m *Multitable) Empty() bool {
+	for _, t := range m.Tables {
+		if len(t.Columns) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalRows counts rows across member tables.
+func (m *Multitable) TotalRows() int {
+	n := 0
+	for _, t := range m.Tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// Flatten merges the member tables into one, aligning columns by
+// position. All members must have the same arity; the first member's
+// column names label the result, and an origin column is prepended.
+func (m *Multitable) Flatten() (*Table, error) {
+	if len(m.Tables) == 0 {
+		return &Table{}, nil
+	}
+	arity := len(m.Tables[0].Columns)
+	for _, t := range m.Tables[1:] {
+		if len(t.Columns) != arity {
+			return nil, fmt.Errorf("multitable: cannot flatten: %s has %d columns, %s has %d",
+				m.Tables[0].Database, arity, t.Database, len(t.Columns))
+		}
+	}
+	out := &Table{Database: "(flattened)"}
+	out.Columns = append(out.Columns, sqlengine.ResultCol{Name: "origin", Type: sqlval.KindString})
+	out.Columns = append(out.Columns, m.Tables[0].Columns...)
+	for _, t := range m.Tables {
+		for _, r := range t.Rows {
+			row := make([]sqlval.Value, 0, arity+1)
+			row = append(row, sqlval.Str(t.Database))
+			row = append(row, r...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c.Name)
+	}
+	b.WriteString("\n")
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Format renders every member table with a database heading.
+func (m *Multitable) Format() string {
+	var b strings.Builder
+	for i, t := range m.Tables {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "-- %s (%d rows)\n", t.Database, len(t.Rows))
+		b.WriteString(t.Format())
+	}
+	return b.String()
+}

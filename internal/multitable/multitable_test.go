@@ -1,0 +1,94 @@
+package multitable
+
+import (
+	"strings"
+	"testing"
+
+	"msql/internal/sqlengine"
+	"msql/internal/sqlval"
+)
+
+func sample() *Multitable {
+	return &Multitable{Tables: []Table{
+		{
+			Database: "avis",
+			Columns: []sqlengine.ResultCol{
+				{Name: "code", Type: sqlval.KindInt},
+				{Name: "cartype", Type: sqlval.KindString},
+				{Name: "rate", Type: sqlval.KindFloat},
+			},
+			Rows: [][]sqlval.Value{
+				{sqlval.Int(1), sqlval.Str("suv"), sqlval.Float(49.5)},
+			},
+		},
+		{
+			Database: "national",
+			Columns: []sqlengine.ResultCol{
+				{Name: "vcode", Type: sqlval.KindInt},
+				{Name: "vty", Type: sqlval.KindString},
+				{Name: "NULL", Type: sqlval.KindNull},
+			},
+			Rows: [][]sqlval.Value{
+				{sqlval.Int(11), sqlval.Str("sedan"), sqlval.Null()},
+				{sqlval.Int(12), sqlval.Str("truck"), sqlval.Null()},
+			},
+		},
+	}}
+}
+
+func TestTotalRowsAndEmpty(t *testing.T) {
+	m := sample()
+	if m.TotalRows() != 3 {
+		t.Fatalf("total = %d", m.TotalRows())
+	}
+	if m.Empty() {
+		t.Fatal("not empty")
+	}
+	empty := &Multitable{}
+	if !empty.Empty() {
+		t.Fatal("empty multitable should report Empty")
+	}
+	flat, err := empty.Flatten()
+	if err != nil || len(flat.Rows) != 0 {
+		t.Fatalf("flatten empty = %+v, %v", flat, err)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	m := sample()
+	flat, err := m.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Rows) != 3 || len(flat.Columns) != 4 {
+		t.Fatalf("flat = %d rows, %d cols", len(flat.Rows), len(flat.Columns))
+	}
+	if flat.Columns[0].Name != "origin" || flat.Columns[1].Name != "code" {
+		t.Fatalf("cols = %v", flat.Columns)
+	}
+	if flat.Rows[0][0].S != "avis" || flat.Rows[1][0].S != "national" {
+		t.Fatalf("origins = %v, %v", flat.Rows[0][0], flat.Rows[1][0])
+	}
+}
+
+func TestFlattenArityMismatch(t *testing.T) {
+	m := sample()
+	m.Tables[1].Columns = m.Tables[1].Columns[:2]
+	if _, err := m.Flatten(); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	m := sample()
+	out := m.Format()
+	for _, want := range []string{"-- avis (1 rows)", "-- national (2 rows)", "code", "suv", "sedan", "NULL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header separator present.
+	if !strings.Contains(out, "----") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package relstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"msql/internal/sqlval"
+)
+
+// snapshot is the serialized form of a store. Only durable state is
+// captured: open transactions, locks and tombstones are not part of a
+// snapshot (Save waits for no one — take snapshots on quiescent stores).
+type snapshot struct {
+	Databases []dbSnapshot
+}
+
+type dbSnapshot struct {
+	Name   string
+	Tables []tableSnapshot
+	Views  []View
+}
+
+type tableSnapshot struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+}
+
+// Save writes a snapshot of all committed data to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var snap snapshot
+	for _, name := range s.databaseNamesLocked() {
+		d := s.databases[name]
+		ds := dbSnapshot{Name: d.Name}
+		for _, tn := range d.TableNames() {
+			t := d.tables[tn]
+			ts := tableSnapshot{Name: t.Name, Columns: append([]Column(nil), t.Columns...)}
+			for _, r := range t.rows {
+				if r != nil {
+					ts.Rows = append(ts.Rows, r.Clone())
+				}
+			}
+			ds.Tables = append(ds.Tables, ts)
+		}
+		for _, vn := range d.ViewNames() {
+			ds.Views = append(ds.Views, *d.views[vn])
+		}
+		snap.Databases = append(snap.Databases, ds)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load replaces the store's contents with a snapshot previously written
+// by Save. The store must be quiescent.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("relstore: load snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.databases = make(map[string]*Database, len(snap.Databases))
+	for _, ds := range snap.Databases {
+		d := &Database{
+			Name:   ds.Name,
+			tables: make(map[string]*Table, len(ds.Tables)),
+			views:  make(map[string]*View, len(ds.Views)),
+		}
+		for _, ts := range ds.Tables {
+			t := &Table{Name: ts.Name, Columns: ts.Columns}
+			t.rows = make([]Row, len(ts.Rows))
+			copy(t.rows, ts.Rows)
+			d.tables[ts.Name] = t
+		}
+		for i := range ds.Views {
+			v := ds.Views[i]
+			d.views[v.Name] = &v
+		}
+		s.databases[ds.Name] = d
+	}
+	return nil
+}
+
+// databaseNamesLocked returns sorted names; callers hold s.mu.
+func (s *Store) databaseNamesLocked() []string {
+	names := make([]string, 0, len(s.databases))
+	for n := range s.databases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// register concrete value types carried inside rows.
+func init() {
+	gob.Register(sqlval.Value{})
+}

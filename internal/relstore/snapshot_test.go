@@ -1,0 +1,89 @@
+package relstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msql/internal/sqlval"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.CreateView("avis", "v", "SELECT code FROM cars"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewStore()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loaded.Database("avis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table("cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+	if tbl.ColumnIndex("rate") != 2 {
+		t.Fatalf("schema lost: %+v", tbl.Columns)
+	}
+	// Values intact, including types.
+	row := tbl.RowAt(0)
+	if row[0] != sqlval.Int(1) || row[1].S != "suv" {
+		t.Fatalf("row = %v", row)
+	}
+	v, err := d.View("v")
+	if err != nil || v.Definition != "SELECT code FROM cars" {
+		t.Fatalf("view = %+v, %v", v, err)
+	}
+	// The loaded store is fully operational.
+	tx2 := loaded.Begin()
+	if err := tx2.Insert("avis", "cars", Row{sqlval.Int(9), sqlval.Str("van"), sqlval.Float(1), sqlval.Str("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotExcludesUncommitted(t *testing.T) {
+	s := carRentalStore(t)
+	// Snapshot after a committed delete: tombstones must not resurrect.
+	tx := s.Begin()
+	if err := tx.Delete("avis", "cars", 0); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStore()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := loaded.Database("avis")
+	tbl, _ := d.Table("cars")
+	if tbl.RowCount() != 2 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}

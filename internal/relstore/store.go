@@ -1,0 +1,232 @@
+// Package relstore implements the in-memory relational storage layer that
+// backs each simulated local DBMS: named databases holding tables and view
+// definitions, with undo-logged transactions, a visible prepared-to-commit
+// state, and table-granularity two-phase locking with timeout-based
+// deadlock resolution.
+//
+// The package is deliberately ignorant of SQL; internal/sqlengine drives it
+// through Tx methods. Keeping the storage layer independent lets the LDBMS
+// simulator expose exactly the commit-capability heterogeneity the paper's
+// semantics depend on.
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"msql/internal/sqlval"
+)
+
+// Common storage errors.
+var (
+	ErrNoDatabase    = errors.New("relstore: no such database")
+	ErrNoTable       = errors.New("relstore: no such table")
+	ErrTableExists   = errors.New("relstore: table already exists")
+	ErrDBExists      = errors.New("relstore: database already exists")
+	ErrNoView        = errors.New("relstore: no such view")
+	ErrViewExists    = errors.New("relstore: view already exists")
+	ErrLockTimeout   = errors.New("relstore: lock wait timeout (possible deadlock)")
+	ErrTxDone        = errors.New("relstore: transaction is not active")
+	ErrNotPrepared   = errors.New("relstore: transaction is not prepared")
+	ErrWidthExceeded = errors.New("relstore: value exceeds declared column width")
+)
+
+// Column describes one table column.
+type Column struct {
+	Name  string
+	Type  sqlval.Kind
+	Width int // CHAR(n) width; 0 = unbounded
+}
+
+// Row is one tuple.
+type Row []sqlval.Value
+
+// Clone copies the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Table holds a schema and rows. Deleted rows become nil tombstones so
+// that undo records can address rows by stable index within a
+// transaction's lifetime; tombstones are compacted when no transaction
+// holds the table.
+type Table struct {
+	Name    string
+	Columns []Column
+	rows    []Row
+	dead    int
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) - t.dead }
+
+func (t *Table) compact() {
+	if t.dead == 0 {
+		return
+	}
+	live := t.rows[:0]
+	for _, r := range t.rows {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	t.rows = live
+	t.dead = 0
+}
+
+// View is a stored view definition. The definition is kept as SQL text so
+// the storage layer stays parser-independent.
+type View struct {
+	Name       string
+	Definition string
+}
+
+// Database is a named collection of tables and views.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	views  map[string]*View
+}
+
+// TableNames returns the sorted table names.
+func (d *Database) TableNames() []string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ViewNames returns the sorted view names.
+func (d *Database) ViewNames() []string {
+	names := make([]string, 0, len(d.views))
+	for n := range d.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table returns the named table.
+func (d *Database) Table(name string) (*Table, error) {
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoTable, d.Name, name)
+	}
+	return t, nil
+}
+
+// View returns the named view.
+func (d *Database) View(name string) (*View, error) {
+	v, ok := d.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoView, d.Name, name)
+	}
+	return v, nil
+}
+
+// Store is the storage root of one simulated DBMS server.
+type Store struct {
+	mu        sync.RWMutex
+	databases map[string]*Database
+	locks     *lockManager
+	nextTx    int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		databases: make(map[string]*Database),
+		locks:     newLockManager(),
+	}
+}
+
+// CreateDatabase adds a database outside any transaction (bootstrap use).
+func (s *Store) CreateDatabase(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.databases[name]; ok {
+		return fmt.Errorf("%w: %s", ErrDBExists, name)
+	}
+	s.databases[name] = &Database{
+		Name:   name,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+	return nil
+}
+
+// DropDatabase removes a database outside any transaction.
+func (s *Store) DropDatabase(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.databases[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoDatabase, name)
+	}
+	delete(s.databases, name)
+	return nil
+}
+
+// Database returns the named database.
+func (s *Store) Database(name string) (*Database, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.databases[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDatabase, name)
+	}
+	return d, nil
+}
+
+// DatabaseNames returns the sorted database names.
+func (s *Store) DatabaseNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.databases))
+	for n := range s.databases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the store's data (not its lock or transaction state).
+// Benchmarks use it to reset working sets cheaply.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore()
+	for dn, d := range s.databases {
+		nd := &Database{Name: dn, tables: make(map[string]*Table), views: make(map[string]*View)}
+		for tn, t := range d.tables {
+			nt := &Table{Name: tn, Columns: append([]Column(nil), t.Columns...)}
+			for _, r := range t.rows {
+				if r != nil {
+					nt.rows = append(nt.rows, r.Clone())
+				}
+			}
+			nd.tables[tn] = nt
+		}
+		for vn, v := range d.views {
+			vv := *v
+			nd.views[vn] = &vv
+		}
+		c.databases[dn] = nd
+	}
+	return c
+}

@@ -1,0 +1,519 @@
+package relstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"msql/internal/sqlval"
+)
+
+func carRentalStore(t testing.TB) *Store {
+	s := NewStore()
+	if err := s.CreateDatabase("avis"); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	err := tx.CreateTable("avis", "cars", []Column{
+		{Name: "code", Type: sqlval.KindInt},
+		{Name: "cartype", Type: sqlval.KindString, Width: 20},
+		{Name: "rate", Type: sqlval.KindFloat},
+		{Name: "carst", Type: sqlval.KindString, Width: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{sqlval.Int(1), sqlval.Str("suv"), sqlval.Float(49.5), sqlval.Str("available")},
+		{sqlval.Int(2), sqlval.Str("compact"), sqlval.Float(29.5), sqlval.Str("rented")},
+		{sqlval.Int(3), sqlval.Str("luxury"), sqlval.Float(99.0), sqlval.Str("available")},
+	}
+	for _, r := range rows {
+		if err := tx.Insert("avis", "cars", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateAndDropDatabase(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateDatabase("avis"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateDatabase("avis"); !errors.Is(err, ErrDBExists) {
+		t.Fatalf("dup create err = %v", err)
+	}
+	if _, err := s.Database("none"); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("missing db err = %v", err)
+	}
+	if err := s.DropDatabase("avis"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropDatabase("avis"); !errors.Is(err, ErrNoDatabase) {
+		t.Fatalf("double drop err = %v", err)
+	}
+}
+
+func TestInsertScanCommit(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	tbl, err := tx.TableForRead("avis", "cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+	var count int
+	tbl.ForEach(func(idx int, row Row) bool {
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("ForEach visited %d", count)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackUndoesInsertUpdateDelete(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.Insert("avis", "cars", Row{sqlval.Int(4), sqlval.Str("van"), sqlval.Float(59), sqlval.Str("available")}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := tx.TableForWrite("avis", "cars")
+	if err := tx.Update("avis", "cars", 0, Row{sqlval.Int(1), sqlval.Str("suv"), sqlval.Float(999), sqlval.Str("available")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("avis", "cars", 1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 { // 3 + 1 insert - 1 delete
+		t.Fatalf("mid-tx rows = %d", tbl.RowCount())
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := s.Begin()
+	tbl, err := check.TableForRead("avis", "cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Fatalf("post-rollback rows = %d", tbl.RowCount())
+	}
+	f, _ := tbl.RowAt(0)[2].AsFloat()
+	if f != 49.5 {
+		t.Fatalf("rate after rollback = %v", tbl.RowAt(0)[2])
+	}
+	if tbl.RowAt(1) == nil {
+		t.Fatal("deleted row not restored")
+	}
+	check.Rollback()
+}
+
+func TestPreparedStateVisible(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.Delete("avis", "cars", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != TxPrepared {
+		t.Fatalf("state = %s", tx.State())
+	}
+	// Work is forbidden in the prepared state.
+	if err := tx.Insert("avis", "cars", Row{sqlval.Int(9), sqlval.Str("x"), sqlval.Null(), sqlval.Str("s")}); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("insert in prepared state err = %v", err)
+	}
+	// Commit from prepared works.
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != TxCommitted {
+		t.Fatalf("state = %s", tx.State())
+	}
+}
+
+func TestPreparedThenRollback(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.Delete("avis", "cars", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	check := s.Begin()
+	tbl, _ := check.TableForRead("avis", "cars")
+	if tbl.RowCount() != 3 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+	check.Rollback()
+}
+
+func TestDoubleCommitFails(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("rollback after commit err = %v", err)
+	}
+}
+
+func TestDDLRollback(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.CreateTable("avis", "tmp", []Column{{Name: "a", Type: sqlval.KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.DropTable("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CreateDatabase("hertz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CreateView("avis", "v", "SELECT code FROM cars"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := s.Database("avis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Table("tmp"); !errors.Is(err, ErrNoTable) {
+		t.Fatal("tmp table survived rollback")
+	}
+	if _, err := d.Table("cars"); err != nil {
+		t.Fatal("cars not restored by rollback")
+	}
+	if _, err := s.Database("hertz"); !errors.Is(err, ErrNoDatabase) {
+		t.Fatal("hertz survived rollback")
+	}
+	if _, err := d.View("v"); !errors.Is(err, ErrNoView) {
+		t.Fatal("view survived rollback")
+	}
+}
+
+func TestDropDatabaseRollbackRestoresData(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.DropDatabase("avis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Database("avis"); err == nil {
+		t.Fatal("avis should be gone mid-tx")
+	}
+	tx.Rollback()
+	d, err := s.Database("avis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table("cars")
+	if err != nil || tbl.RowCount() != 3 {
+		t.Fatalf("restore failed: %v, rows=%d", err, tbl.RowCount())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	defer tx.Rollback()
+	// Wrong arity.
+	if err := tx.Insert("avis", "cars", Row{sqlval.Int(1)}); err == nil {
+		t.Fatal("arity error expected")
+	}
+	// Wrong kind.
+	if err := tx.Insert("avis", "cars", Row{sqlval.Str("x"), sqlval.Str("a"), sqlval.Null(), sqlval.Str("s")}); err == nil {
+		t.Fatal("kind error expected")
+	}
+	// Width exceeded.
+	err := tx.Insert("avis", "cars", Row{sqlval.Int(5), sqlval.Str("this type name is far too long for the column"), sqlval.Null(), sqlval.Str("ok")})
+	if !errors.Is(err, ErrWidthExceeded) {
+		t.Fatalf("width err = %v", err)
+	}
+	// NULL always fits; int widens into float column.
+	if err := tx.Insert("avis", "cars", Row{sqlval.Int(5), sqlval.Null(), sqlval.Int(42), sqlval.Str("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := tx.TableForRead("avis", "cars")
+	var last Row
+	tbl.ForEach(func(idx int, row Row) bool { last = row; return true })
+	if last[2].K != sqlval.KindFloat {
+		t.Fatalf("int not widened to float: %v", last[2])
+	}
+}
+
+func TestLockConflictTimeout(t *testing.T) {
+	s := carRentalStore(t)
+	writer := s.Begin()
+	if _, err := writer.TableForWrite("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	reader := s.Begin()
+	reader.LockTimeout = 50 * time.Millisecond
+	if _, err := reader.TableForRead("avis", "cars"); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("expected lock timeout, got %v", err)
+	}
+	writer.Commit()
+	// After release the reader can proceed.
+	reader2 := s.Begin()
+	if _, err := reader2.TableForRead("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	reader2.Rollback()
+	reader.Rollback()
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	s := carRentalStore(t)
+	r1, r2 := s.Begin(), s.Begin()
+	if _, err := r1.TableForRead("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.TableForRead("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	r1.Commit()
+	r2.Commit()
+}
+
+func TestLockUpgrade(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if _, err := tx.TableForRead("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.TableForWrite("avis", "cars"); err != nil {
+		t.Fatalf("self-upgrade failed: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestWriterBlocksUntilRelease(t *testing.T) {
+	s := carRentalStore(t)
+	r := s.Begin()
+	if _, err := r.TableForRead("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		w := s.Begin()
+		_, err := w.TableForWrite("avis", "cars")
+		if err == nil {
+			w.Commit()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Commit()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("writer failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never unblocked")
+	}
+}
+
+func TestConcurrentInsertersSerialize(t *testing.T) {
+	s := carRentalStore(t)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := s.Begin()
+			tx.LockTimeout = 5 * time.Second
+			if err := tx.Insert("avis", "cars", Row{sqlval.Int(int64(100 + i)), sqlval.Str("x"), sqlval.Null(), sqlval.Str("new")}); err != nil {
+				t.Error(err)
+				tx.Rollback()
+				return
+			}
+			tx.Commit()
+		}(i)
+	}
+	wg.Wait()
+	tx := s.Begin()
+	tbl, _ := tx.TableForRead("avis", "cars")
+	if tbl.RowCount() != 3+n {
+		t.Fatalf("rows = %d, want %d", tbl.RowCount(), 3+n)
+	}
+	tx.Rollback()
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := carRentalStore(t)
+	c := s.Clone()
+	tx := s.Begin()
+	if err := tx.Delete("avis", "cars", 0); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	d, _ := c.Database("avis")
+	tbl, _ := d.Table("cars")
+	if tbl.RowCount() != 3 {
+		t.Fatalf("clone affected by original: rows = %d", tbl.RowCount())
+	}
+}
+
+func TestTombstoneCompaction(t *testing.T) {
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.Delete("avis", "cars", 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	d, _ := s.Database("avis")
+	tbl, _ := d.Table("cars")
+	if tbl.dead != 0 {
+		t.Fatalf("tombstones not compacted: dead = %d", tbl.dead)
+	}
+	if tbl.RowCount() != 2 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := carRentalStore(t)
+	s.CreateDatabase("national")
+	got := s.DatabaseNames()
+	if len(got) != 2 || got[0] != "avis" || got[1] != "national" {
+		t.Fatalf("db names = %v", got)
+	}
+	d, _ := s.Database("avis")
+	if names := d.TableNames(); len(names) != 1 || names[0] != "cars" {
+		t.Fatalf("table names = %v", names)
+	}
+	tx := s.Begin()
+	tx.CreateView("avis", "v", "SELECT code FROM cars")
+	tx.Commit()
+	if names := d.ViewNames(); len(names) != 1 || names[0] != "v" {
+		t.Fatalf("view names = %v", names)
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	s := carRentalStore(t)
+	d, _ := s.Database("avis")
+	tbl, _ := d.Table("cars")
+	if tbl.ColumnIndex("rate") != 2 {
+		t.Fatalf("rate idx = %d", tbl.ColumnIndex("rate"))
+	}
+	if tbl.ColumnIndex("bogus") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+}
+
+func TestDeadlockResolvedByTimeout(t *testing.T) {
+	// Classic two-table deadlock: tx1 holds cars and wants trucks, tx2
+	// holds trucks and wants cars. The lock-wait timeout breaks it.
+	s := carRentalStore(t)
+	tx := s.Begin()
+	if err := tx.CreateTable("avis", "trucks", []Column{{Name: "id", Type: sqlval.KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx1, tx2 := s.Begin(), s.Begin()
+	tx1.LockTimeout = 150 * time.Millisecond
+	tx2.LockTimeout = 150 * time.Millisecond
+	if _, err := tx1.TableForWrite("avis", "cars"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.TableForWrite("avis", "trucks"); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() {
+		_, err := tx1.TableForWrite("avis", "trucks")
+		errs <- err
+	}()
+	go func() {
+		_, err := tx2.TableForWrite("avis", "cars")
+		errs <- err
+	}()
+	timedOut := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrLockTimeout) {
+				timedOut++
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("expected at least one lock timeout")
+	}
+	tx1.Rollback()
+	tx2.Rollback()
+}
+
+// Property: a transaction that inserts k rows and rolls back leaves the
+// table byte-identical in row count and contents.
+func TestQuickRollbackRestores(t *testing.T) {
+	s := carRentalStore(t)
+	f := func(k uint8, del bool) bool {
+		before := s.Begin()
+		tbl, err := before.TableForRead("avis", "cars")
+		if err != nil {
+			return false
+		}
+		want := tbl.RowCount()
+		before.Commit()
+
+		tx := s.Begin()
+		n := int(k%16) + 1
+		for i := 0; i < n; i++ {
+			if err := tx.Insert("avis", "cars", Row{sqlval.Int(int64(1000 + i)), sqlval.Str("q"), sqlval.Null(), sqlval.Str("new")}); err != nil {
+				tx.Rollback()
+				return false
+			}
+		}
+		if del {
+			if err := tx.Delete("avis", "cars", 0); err != nil {
+				tx.Rollback()
+				return false
+			}
+		}
+		tx.Rollback()
+
+		after := s.Begin()
+		tbl, err = after.TableForRead("avis", "cars")
+		if err != nil {
+			return false
+		}
+		got := tbl.RowCount()
+		after.Commit()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

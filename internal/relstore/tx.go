@@ -1,0 +1,523 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"msql/internal/sqlval"
+)
+
+// TxState is the lifecycle state of a transaction. Prepared is the
+// externally visible prepared-to-commit state that the paper's VITAL
+// semantics require from a 2PC-capable LDBMS.
+type TxState uint8
+
+// Transaction states.
+const (
+	TxActive TxState = iota
+	TxPrepared
+	TxCommitted
+	TxAborted
+)
+
+func (s TxState) String() string {
+	switch s {
+	case TxActive:
+		return "active"
+	case TxPrepared:
+		return "prepared"
+	case TxCommitted:
+		return "committed"
+	case TxAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxState(%d)", uint8(s))
+	}
+}
+
+// DefaultLockTimeout is the lock wait budget standing in for local
+// deadlock detection.
+const DefaultLockTimeout = 2 * time.Second
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota
+	undoDelete
+	undoUpdate
+	undoCreateTable
+	undoDropTable
+	undoCreateDB
+	undoDropDB
+	undoCreateView
+	undoDropView
+)
+
+type undoRec struct {
+	kind  undoKind
+	db    string
+	name  string
+	idx   int
+	row   Row
+	table *Table
+	dbObj *Database
+	view  *View
+}
+
+// Tx is an undo-logged transaction over a Store. A Tx is not safe for
+// concurrent use by multiple goroutines; the session layer serializes it.
+type Tx struct {
+	store       *Store
+	id          int64
+	mu          sync.Mutex
+	state       TxState
+	undo        []undoRec
+	touched     map[string]*Table
+	LockTimeout time.Duration
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	s.mu.Lock()
+	s.nextTx++
+	id := s.nextTx
+	s.mu.Unlock()
+	return &Tx{
+		store:       s,
+		id:          id,
+		state:       TxActive,
+		touched:     make(map[string]*Table),
+		LockTimeout: DefaultLockTimeout,
+	}
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() int64 { return t.id }
+
+// State returns the current lifecycle state.
+func (t *Tx) State() TxState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+func (t *Tx) active() error {
+	if t.state != TxActive {
+		return fmt.Errorf("%w (state %s)", ErrTxDone, t.state)
+	}
+	return nil
+}
+
+func tableKey(db, table string) string { return db + "." + table }
+func viewKey(db, view string) string   { return db + ".view:" + view }
+
+func (t *Tx) lock(key string, mode LockMode) error {
+	return t.store.locks.acquire(t.id, key, mode, t.LockTimeout)
+}
+
+// TableForRead S-locks and returns the table for scanning. Callers may
+// read Columns and iterate rows via ForEach while the transaction holds
+// the lock.
+func (t *Tx) TableForRead(db, table string) (*Table, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	d, err := t.store.Database(db)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := d.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lock(tableKey(db, table), LockShared); err != nil {
+		return nil, err
+	}
+	t.touched[tableKey(db, table)] = tbl
+	return tbl, nil
+}
+
+// TableForWrite X-locks and returns the table.
+func (t *Tx) TableForWrite(db, table string) (*Table, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	return t.tableForWriteLocked(db, table)
+}
+
+func (t *Tx) tableForWriteLocked(db, table string) (*Table, error) {
+	d, err := t.store.Database(db)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := d.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.lock(tableKey(db, table), LockExclusive); err != nil {
+		return nil, err
+	}
+	t.touched[tableKey(db, table)] = tbl
+	return tbl, nil
+}
+
+// ForEach iterates live rows with their stable indexes, stopping when fn
+// returns false. The caller must hold a lock on the table via a Tx.
+func (t *Table) ForEach(fn func(idx int, row Row) bool) {
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// RowAt returns the row at a stable index, or nil when deleted.
+func (t *Table) RowAt(idx int) Row {
+	if idx < 0 || idx >= len(t.rows) {
+		return nil
+	}
+	return t.rows[idx]
+}
+
+// validate checks arity, kinds and CHAR widths against the schema.
+func (t *Table) validate(row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("relstore: row has %d values, table %s has %d columns", len(row), t.Name, len(t.Columns))
+	}
+	for i, v := range row {
+		c := t.Columns[i]
+		if v.IsNull() {
+			continue
+		}
+		if v.K != c.Type {
+			// Numeric widening is legal: int into float column.
+			if c.Type == sqlval.KindFloat && v.K == sqlval.KindInt {
+				continue
+			}
+			return fmt.Errorf("relstore: column %s.%s expects %s, got %s", t.Name, c.Name, c.Type, v.K)
+		}
+		if c.Type == sqlval.KindString && c.Width > 0 && len(v.S) > c.Width {
+			return fmt.Errorf("%w: %s.%s width %d, value %q", ErrWidthExceeded, t.Name, c.Name, c.Width, v.S)
+		}
+	}
+	return nil
+}
+
+func normalize(t *Table, row Row) Row {
+	out := row.Clone()
+	for i, v := range out {
+		if !v.IsNull() && t.Columns[i].Type == sqlval.KindFloat && v.K == sqlval.KindInt {
+			out[i] = sqlval.Float(float64(v.I))
+		}
+	}
+	return out
+}
+
+// Insert appends a row, X-locking the table.
+func (t *Tx) Insert(db, table string, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	tbl, err := t.tableForWriteLocked(db, table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.validate(row); err != nil {
+		return err
+	}
+	tbl.rows = append(tbl.rows, normalize(tbl, row))
+	t.undo = append(t.undo, undoRec{kind: undoInsert, db: db, name: table, idx: len(tbl.rows) - 1})
+	return nil
+}
+
+// Update replaces the row at idx. The caller must have obtained idx from a
+// scan under this transaction (the X lock keeps indexes stable).
+func (t *Tx) Update(db, table string, idx int, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	tbl, err := t.tableForWriteLocked(db, table)
+	if err != nil {
+		return err
+	}
+	old := tbl.RowAt(idx)
+	if old == nil {
+		return fmt.Errorf("relstore: update of missing row %d in %s.%s", idx, db, table)
+	}
+	if err := tbl.validate(row); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{kind: undoUpdate, db: db, name: table, idx: idx, row: old})
+	tbl.rows[idx] = normalize(tbl, row)
+	return nil
+}
+
+// Delete tombstones the row at idx.
+func (t *Tx) Delete(db, table string, idx int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	tbl, err := t.tableForWriteLocked(db, table)
+	if err != nil {
+		return err
+	}
+	old := tbl.RowAt(idx)
+	if old == nil {
+		return fmt.Errorf("relstore: delete of missing row %d in %s.%s", idx, db, table)
+	}
+	t.undo = append(t.undo, undoRec{kind: undoDelete, db: db, name: table, idx: idx, row: old})
+	tbl.rows[idx] = nil
+	tbl.dead++
+	return nil
+}
+
+// CreateTable creates a table inside db.
+func (t *Tx) CreateTable(db, name string, cols []Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	d, err := t.store.Database(db)
+	if err != nil {
+		return err
+	}
+	if err := t.lock(tableKey(db, name), LockExclusive); err != nil {
+		return err
+	}
+	if _, ok := d.tables[name]; ok {
+		return fmt.Errorf("%w: %s.%s", ErrTableExists, db, name)
+	}
+	d.tables[name] = &Table{Name: name, Columns: append([]Column(nil), cols...)}
+	t.undo = append(t.undo, undoRec{kind: undoCreateTable, db: db, name: name})
+	return nil
+}
+
+// DropTable removes a table.
+func (t *Tx) DropTable(db, name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	d, err := t.store.Database(db)
+	if err != nil {
+		return err
+	}
+	if err := t.lock(tableKey(db, name), LockExclusive); err != nil {
+		return err
+	}
+	tbl, ok := d.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoTable, db, name)
+	}
+	delete(d.tables, name)
+	t.undo = append(t.undo, undoRec{kind: undoDropTable, db: db, name: name, table: tbl})
+	return nil
+}
+
+// CreateDatabase creates a database transactionally.
+func (t *Tx) CreateDatabase(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.lock(name, LockExclusive); err != nil {
+		return err
+	}
+	if err := t.store.CreateDatabase(name); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{kind: undoCreateDB, name: name})
+	return nil
+}
+
+// DropDatabase drops a database transactionally.
+func (t *Tx) DropDatabase(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	if err := t.lock(name, LockExclusive); err != nil {
+		return err
+	}
+	d, err := t.store.Database(name)
+	if err != nil {
+		return err
+	}
+	if err := t.store.DropDatabase(name); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{kind: undoDropDB, name: name, dbObj: d})
+	return nil
+}
+
+// CreateView stores a view definition.
+func (t *Tx) CreateView(db, name, definition string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	d, err := t.store.Database(db)
+	if err != nil {
+		return err
+	}
+	if err := t.lock(viewKey(db, name), LockExclusive); err != nil {
+		return err
+	}
+	if _, ok := d.views[name]; ok {
+		return fmt.Errorf("%w: %s.%s", ErrViewExists, db, name)
+	}
+	d.views[name] = &View{Name: name, Definition: definition}
+	t.undo = append(t.undo, undoRec{kind: undoCreateView, db: db, name: name})
+	return nil
+}
+
+// DropView removes a view definition.
+func (t *Tx) DropView(db, name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	d, err := t.store.Database(db)
+	if err != nil {
+		return err
+	}
+	if err := t.lock(viewKey(db, name), LockExclusive); err != nil {
+		return err
+	}
+	v, ok := d.views[name]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoView, db, name)
+	}
+	delete(d.views, name)
+	t.undo = append(t.undo, undoRec{kind: undoDropView, db: db, name: name, view: v})
+	return nil
+}
+
+// StoreDatabase returns the named database from the underlying store, for
+// catalog metadata lookups by the engine layer.
+func (t *Tx) StoreDatabase(name string) (*Database, error) {
+	return t.store.Database(name)
+}
+
+// Prepare moves the transaction to the visible prepared-to-commit state.
+// Locks stay held until Commit or Rollback.
+func (t *Tx) Prepare() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.active(); err != nil {
+		return err
+	}
+	t.state = TxPrepared
+	return nil
+}
+
+// Commit makes all changes durable and releases locks. Valid from the
+// active or prepared state.
+func (t *Tx) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != TxActive && t.state != TxPrepared {
+		return fmt.Errorf("%w (state %s)", ErrTxDone, t.state)
+	}
+	t.state = TxCommitted
+	t.undo = nil
+	t.finishLocked()
+	return nil
+}
+
+// Rollback undoes all changes in reverse order and releases locks.
+func (t *Tx) Rollback() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != TxActive && t.state != TxPrepared {
+		return fmt.Errorf("%w (state %s)", ErrTxDone, t.state)
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.applyUndo(t.undo[i])
+	}
+	t.undo = nil
+	t.state = TxAborted
+	t.finishLocked()
+	return nil
+}
+
+func (t *Tx) applyUndo(u undoRec) {
+	switch u.kind {
+	case undoInsert:
+		if d, err := t.store.Database(u.db); err == nil {
+			if tbl, ok := d.tables[u.name]; ok && tbl.RowAt(u.idx) != nil {
+				tbl.rows[u.idx] = nil
+				tbl.dead++
+			}
+		}
+	case undoDelete:
+		if d, err := t.store.Database(u.db); err == nil {
+			if tbl, ok := d.tables[u.name]; ok && u.idx < len(tbl.rows) && tbl.rows[u.idx] == nil {
+				tbl.rows[u.idx] = u.row
+				tbl.dead--
+			}
+		}
+	case undoUpdate:
+		if d, err := t.store.Database(u.db); err == nil {
+			if tbl, ok := d.tables[u.name]; ok && tbl.RowAt(u.idx) != nil {
+				tbl.rows[u.idx] = u.row
+			}
+		}
+	case undoCreateTable:
+		if d, err := t.store.Database(u.db); err == nil {
+			delete(d.tables, u.name)
+		}
+	case undoDropTable:
+		if d, err := t.store.Database(u.db); err == nil {
+			d.tables[u.name] = u.table
+		}
+	case undoCreateDB:
+		t.store.mu.Lock()
+		delete(t.store.databases, u.name)
+		t.store.mu.Unlock()
+	case undoDropDB:
+		t.store.mu.Lock()
+		t.store.databases[u.name] = u.dbObj
+		t.store.mu.Unlock()
+	case undoCreateView:
+		if d, err := t.store.Database(u.db); err == nil {
+			delete(d.views, u.name)
+		}
+	case undoDropView:
+		if d, err := t.store.Database(u.db); err == nil {
+			d.views[u.name] = u.view
+		}
+	}
+}
+
+// finishLocked releases the transaction's locks and compacts tombstoned
+// tables that are now quiescent.
+func (t *Tx) finishLocked() {
+	t.store.locks.releaseAll(t.id)
+	for key, tbl := range t.touched {
+		if !t.store.locks.holdsAny(key) {
+			tbl.compact()
+		}
+	}
+	t.touched = make(map[string]*Table)
+}

@@ -1,0 +1,365 @@
+package semvar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msql/internal/catalog"
+	"msql/internal/msqlparser"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// globalRef is one resolved table reference of a global (cross-database)
+// query.
+type globalRef struct {
+	origKey string // original dotted spelling
+	alias   string // effective alias in the rewritten query
+	db      string
+	table   string
+	entry   int // index into scope
+}
+
+// expandGlobal resolves a query whose table references name scope
+// databases explicitly. The result is a single elementary query with
+// database-qualified table names, ready for the decomposer.
+func expandGlobal(gdd *catalog.GDD, scope []ScopeEntry, lets []msqlparser.LetBinding, body sqlparser.Statement) (*Elementary, error) {
+	entryOf := make(map[string]int, len(scope)*2)
+	for i, e := range scope {
+		entryOf[e.Database] = i
+		entryOf[e.Name] = i
+	}
+
+	aliases := fromAliases(body)
+	tables := collectTableTexts(body)
+
+	// Resolve each distinct table spelling.
+	refs := make(map[string]*globalRef)
+	var order []string
+	usedAlias := map[string]bool{}
+	resolveTable := func(n sqlparser.ObjectName, explicitAlias string) error {
+		key := n.String()
+		if _, ok := refs[key]; ok {
+			return nil
+		}
+		var db string
+		var entryIdx int
+		name := key
+		if len(n.Parts) >= 2 {
+			if idx, ok := entryOf[n.Parts[0]]; ok {
+				entryIdx = idx
+				db = scope[idx].Database
+				name = strings.Join(n.Parts[1:], ".")
+			} else {
+				return fmt.Errorf("%w: %s names an unknown database", ErrUnresolved, key)
+			}
+		} else {
+			// Unprefixed: the table must live in exactly one scope database.
+			var hits []int
+			for i, e := range scope {
+				if cands := matchTables(gdd, e.Database, name, bindingMap(lets, i)); len(cands) > 0 {
+					hits = append(hits, i)
+				}
+			}
+			if len(hits) == 0 {
+				return fmt.Errorf("%w: no database in scope has table %s", ErrUnresolved, name)
+			}
+			if len(hits) > 1 {
+				return fmt.Errorf("%w: table %s exists in several scope databases; qualify it", ErrAmbiguous, name)
+			}
+			entryIdx = hits[0]
+			db = scope[entryIdx].Database
+		}
+		cands := matchTables(gdd, db, name, bindingMap(lets, entryIdx))
+		if len(cands) == 0 {
+			return fmt.Errorf("%w: no table matching %s in %s", ErrUnresolved, name, db)
+		}
+		if len(cands) > 1 {
+			return fmt.Errorf("%w: pattern %s matches several tables in %s", ErrAmbiguous, name, db)
+		}
+		alias := explicitAlias
+		if alias == "" {
+			alias = cands[0]
+		}
+		if usedAlias[alias] {
+			return fmt.Errorf("%w: alias %s used twice; alias your global FROM tables", ErrAmbiguous, alias)
+		}
+		usedAlias[alias] = true
+		refs[key] = &globalRef{origKey: key, alias: alias, db: db, table: cands[0], entry: entryIdx}
+		order = append(order, key)
+		return nil
+	}
+
+	// FROM clauses carry the aliases; resolve them first.
+	if err := eachTableRef(body, func(ref sqlparser.TableRef) error {
+		return resolveTable(ref.Name, ref.Alias)
+	}); err != nil {
+		return nil, err
+	}
+	// DML targets without FROM entries.
+	for _, t := range tables {
+		if _, ok := refs[t.String()]; !ok {
+			if err := resolveTable(t, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Column resolution.
+	projAliases := projectionAliases(body)
+	colAssign := make(map[string]sqlparser.Expr)
+	var colErr error
+	sqlparser.WalkExprs(body, func(e sqlparser.Expr) {
+		c, ok := e.(sqlparser.ColRef)
+		if !ok || colErr != nil {
+			return
+		}
+		key := colKey(c)
+		if _, done := colAssign[key]; done {
+			return
+		}
+		repl, err := resolveGlobalColumn(gdd, scope, lets, refs, aliases, projAliases, c)
+		if err != nil {
+			colErr = err
+			return
+		}
+		colAssign[key] = repl
+	})
+	if colErr != nil {
+		return nil, colErr
+	}
+
+	rw := sqlparser.Rewriter{
+		Table: func(n sqlparser.ObjectName) sqlparser.ObjectName {
+			if r, ok := refs[n.String()]; ok {
+				return sqlparser.Name(r.db, r.table)
+			}
+			return n
+		},
+		Col: func(c sqlparser.ColRef) sqlparser.Expr {
+			if e, ok := colAssign[colKey(c)]; ok {
+				return e
+			}
+			c.Optional = false
+			return c
+		},
+	}
+	out := sqlparser.RewriteStatement(body, rw)
+	// Ensure FROM aliases are present so the decomposer and local engines
+	// resolve qualifiers uniformly.
+	applyAliases(out, refs)
+	return &Elementary{Global: true, Stmt: out}, nil
+}
+
+// matchTables resolves a table spelling (pattern, LET variable or literal)
+// within one database. Transformation variables never name tables.
+func matchTables(gdd *catalog.GDD, db, name string, varMap map[string]bindTarget) []string {
+	if target, ok := varMap[name]; ok {
+		if target.expr != nil {
+			return nil
+		}
+		name = target.name
+	}
+	if strings.Contains(name, "%") {
+		m, err := gdd.TablesMatching(db, name)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	if _, err := gdd.Table(db, name); err != nil {
+		return nil
+	}
+	return []string{name}
+}
+
+// eachTableRef visits FROM table references (with aliases) across the
+// statement including subqueries.
+func eachTableRef(s sqlparser.Statement, fn func(sqlparser.TableRef) error) error {
+	var err error
+	visitSel := func(sel *sqlparser.SelectStmt) {
+		if sel == nil || err != nil {
+			return
+		}
+		for _, f := range sel.From {
+			if err == nil {
+				err = fn(f)
+			}
+		}
+	}
+	switch st := s.(type) {
+	case *sqlparser.SelectStmt:
+		visitSel(st)
+	case *sqlparser.InsertStmt:
+		visitSel(st.Query)
+	}
+	sqlparser.WalkExprs(s, func(e sqlparser.Expr) {
+		switch x := e.(type) {
+		case *sqlparser.SubqueryExpr:
+			visitSel(x.Query)
+		case *sqlparser.InExpr:
+			visitSel(x.Query)
+		}
+	})
+	return err
+}
+
+// resolveGlobalColumn maps one column spelling of a global query.
+func resolveGlobalColumn(gdd *catalog.GDD, scope []ScopeEntry, lets []msqlparser.LetBinding,
+	refs map[string]*globalRef, aliases map[string]string, projAliases map[string]bool,
+	c sqlparser.ColRef) (sqlparser.Expr, error) {
+
+	nullLit := &sqlparser.Literal{Val: sqlval.Null()}
+	colsOf := func(r *globalRef) []string {
+		def, err := gdd.Table(r.db, r.table)
+		if err != nil {
+			return nil
+		}
+		return def.ColumnNames()
+	}
+	resolveIn := func(r *globalRef, name string) []string {
+		if target, ok := bindingMap(lets, r.entry)[name]; ok {
+			if target.expr != nil {
+				// Transformations are a fan-out feature; global queries
+				// must name concrete columns.
+				return nil
+			}
+			name = target.name
+		}
+		var out []string
+		for _, col := range colsOf(r) {
+			if catalog.MatchName(col, name) {
+				out = append(out, col)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	switch len(c.Parts) {
+	case 1:
+		name := c.Parts[0]
+		type hit struct {
+			r   *globalRef
+			col string
+		}
+		var hits []hit
+		for _, r := range refs {
+			for _, col := range resolveIn(r, name) {
+				hits = append(hits, hit{r: r, col: col})
+			}
+		}
+		if len(hits) == 0 {
+			if projAliases[name] {
+				return sqlparser.ColRef{Parts: []string{name}}, nil
+			}
+			if c.Optional {
+				return nullLit, nil
+			}
+			return nil, fmt.Errorf("%w: column %s", ErrUnresolved, name)
+		}
+		if len(hits) > 1 {
+			return nil, fmt.Errorf("%w: column %s matches in several tables; qualify it", ErrAmbiguous, name)
+		}
+		if len(refs) == 1 {
+			// Single-table global query: keep references unqualified so
+			// the pushed-down local statement stays clean.
+			return sqlparser.ColRef{Parts: []string{hits[0].col}}, nil
+		}
+		return sqlparser.ColRef{Parts: []string{hits[0].r.alias, hits[0].col}}, nil
+	case 2:
+		qual, name := c.Parts[0], c.Parts[1]
+		r := findRef(refs, aliases, qual, "")
+		if r == nil {
+			if c.Optional {
+				return nullLit, nil
+			}
+			return nil, fmt.Errorf("%w: qualifier %s", ErrUnresolved, qual)
+		}
+		matches := resolveIn(r, name)
+		if len(matches) == 0 {
+			if c.Optional {
+				return nullLit, nil
+			}
+			return nil, fmt.Errorf("%w: column %s.%s", ErrUnresolved, qual, name)
+		}
+		if len(matches) > 1 {
+			return nil, fmt.Errorf("%w: pattern %s.%s", ErrAmbiguous, qual, name)
+		}
+		return sqlparser.ColRef{Parts: []string{r.alias, matches[0]}}, nil
+	default:
+		// db.table.column
+		qual := strings.Join(c.Parts[:len(c.Parts)-1], ".")
+		name := c.Parts[len(c.Parts)-1]
+		r := findRef(refs, aliases, qual, "")
+		if r == nil {
+			if c.Optional {
+				return nullLit, nil
+			}
+			return nil, fmt.Errorf("%w: qualifier %s", ErrUnresolved, qual)
+		}
+		matches := resolveIn(r, name)
+		if len(matches) != 1 {
+			if c.Optional && len(matches) == 0 {
+				return nullLit, nil
+			}
+			return nil, fmt.Errorf("%w: %s", ErrUnresolved, colKey(c))
+		}
+		return sqlparser.ColRef{Parts: []string{r.alias, matches[0]}}, nil
+	}
+}
+
+// findRef locates the table reference a qualifier denotes: an alias, an
+// original spelling, or a bare table name.
+func findRef(refs map[string]*globalRef, aliases map[string]string, qual, _ string) *globalRef {
+	if orig, ok := aliases[qual]; ok {
+		if r, ok := refs[orig]; ok {
+			return r
+		}
+	}
+	if r, ok := refs[qual]; ok {
+		return r
+	}
+	for _, r := range refs {
+		if r.alias == qual || r.table == qual {
+			return r
+		}
+	}
+	return nil
+}
+
+// applyAliases sets the resolved alias on every FROM reference of the
+// rewritten statement.
+func applyAliases(s sqlparser.Statement, refs map[string]*globalRef) {
+	byDBTable := make(map[string]string, len(refs))
+	for _, r := range refs {
+		byDBTable[r.db+"."+r.table] = r.alias
+	}
+	fix := func(sel *sqlparser.SelectStmt) {
+		if sel == nil {
+			return
+		}
+		for i := range sel.From {
+			if sel.From[i].Alias == "" {
+				if a, ok := byDBTable[sel.From[i].Name.String()]; ok {
+					sel.From[i].Alias = a
+				}
+			}
+		}
+	}
+	switch st := s.(type) {
+	case *sqlparser.SelectStmt:
+		fix(st)
+	case *sqlparser.InsertStmt:
+		fix(st.Query)
+	}
+	sqlparser.WalkExprs(s, func(e sqlparser.Expr) {
+		switch x := e.(type) {
+		case *sqlparser.SubqueryExpr:
+			fix(x.Query)
+		case *sqlparser.InExpr:
+			fix(x.Query)
+		}
+	})
+}

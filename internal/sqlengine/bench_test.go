@@ -1,0 +1,111 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+
+	"msql/internal/relstore"
+)
+
+func benchDB(b *testing.B, rows int) *relstore.Store {
+	b.Helper()
+	s := relstore.NewStore()
+	if err := s.CreateDatabase("d"); err != nil {
+		b.Fatal(err)
+	}
+	tx := s.Begin()
+	if _, err := ExecuteSQL(tx, "d", "CREATE TABLE t (id INTEGER, grp CHAR(4), val FLOAT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i += 50 {
+		stmt := "INSERT INTO t VALUES "
+		for j := 0; j < 50 && i+j < rows; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 'g%d', %d.5)", i+j, (i+j)%7, (i+j)%500)
+		}
+		if _, err := ExecuteSQL(tx, "d", stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tx.Commit()
+	return s
+}
+
+func BenchmarkSelectFilter(b *testing.B) {
+	s := benchDB(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		res, err := ExecuteSQL(tx, "d", "SELECT id FROM t WHERE val > 250 AND grp = 'g3'")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+		tx.Rollback()
+	}
+}
+
+func BenchmarkSelectGroupBy(b *testing.B) {
+	s := benchDB(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		res, err := ExecuteSQL(tx, "d", "SELECT grp, COUNT(id), AVG(val) FROM t GROUP BY grp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 7 {
+			b.Fatalf("groups = %d", len(res.Rows))
+		}
+		tx.Rollback()
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	s := benchDB(b, 2000)
+	tx := s.Begin()
+	if _, err := ExecuteSQL(tx, "d", "CREATE TABLE u (id INTEGER, tag CHAR(4))"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i += 50 {
+		stmt := "INSERT INTO u VALUES "
+		for j := 0; j < 50; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 'x')", i+j)
+		}
+		if _, err := ExecuteSQL(tx, "d", stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tx.Commit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtx := s.Begin()
+		res, err := ExecuteSQL(rtx, "d", "SELECT COUNT(t.id) FROM t, u WHERE t.id = u.id")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n, _ := res.Rows[0][0].AsInt(); n != 2000 {
+			b.Fatalf("count = %d", n)
+		}
+		rtx.Rollback()
+	}
+}
+
+func BenchmarkUpdateWhere(b *testing.B) {
+	s := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if _, err := ExecuteSQL(tx, "d", "UPDATE t SET val = val + 1 WHERE grp = 'g1'"); err != nil {
+			b.Fatal(err)
+		}
+		tx.Rollback()
+	}
+}

@@ -1,0 +1,169 @@
+// Package sqlengine executes parsed SQL statements against a relstore
+// transaction. It implements the complete local query surface the paper's
+// LDBMSs need: SELECT with joins, aggregates, grouping, ordering, scalar
+// and IN subqueries; INSERT/UPDATE/DELETE; and transactional DDL including
+// views.
+//
+// The engine is stateless: every call receives the transaction and the
+// session's current database, so the LDBMS session layer above it can
+// implement autocommit and 2PC policies freely.
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// Common engine errors.
+var (
+	ErrUnknownColumn   = errors.New("sqlengine: unknown column")
+	ErrAmbiguousColumn = errors.New("sqlengine: ambiguous column")
+	ErrNotScalar       = errors.New("sqlengine: subquery returned more than one row")
+)
+
+// ResultCol describes one output column.
+type ResultCol struct {
+	Name string
+	Type sqlval.Kind
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []ResultCol
+	Rows         [][]sqlval.Value
+	RowsAffected int
+}
+
+// ColumnNames returns the output column names.
+func (r *Result) ColumnNames() []string {
+	names := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Execute runs stmt inside tx with db as the session's current database.
+// Table names may be qualified as database.table on servers exposing
+// multiple databases.
+func Execute(tx *relstore.Tx, db string, stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return execSelect(tx, db, s, nil)
+	case *sqlparser.InsertStmt:
+		return execInsert(tx, db, s)
+	case *sqlparser.UpdateStmt:
+		return execUpdate(tx, db, s)
+	case *sqlparser.DeleteStmt:
+		return execDelete(tx, db, s)
+	case *sqlparser.CreateTableStmt:
+		tdb, tname := splitName(db, s.Table)
+		cols := make([]relstore.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width}
+		}
+		if err := tx.CreateTable(tdb, tname, cols); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.DropTableStmt:
+		tdb, tname := splitName(db, s.Table)
+		err := tx.DropTable(tdb, tname)
+		if err != nil && s.IfExists && errors.Is(err, relstore.ErrNoTable) {
+			return &Result{}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.CreateDatabaseStmt:
+		if err := tx.CreateDatabase(s.Database); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.DropDatabaseStmt:
+		if err := tx.DropDatabase(s.Database); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.CreateViewStmt:
+		vdb, vname := splitName(db, s.View)
+		if err := tx.CreateView(vdb, vname, sqlparser.Deparse(s.Query)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.DropViewStmt:
+		vdb, vname := splitName(db, s.View)
+		if err := tx.DropView(vdb, vname); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("sqlengine: unsupported statement %T", stmt)
+	}
+}
+
+// ExecuteSQL parses and executes one statement given as text.
+func ExecuteSQL(tx *relstore.Tx, db, src string) (*Result, error) {
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(tx, db, stmt)
+}
+
+// splitName resolves an optionally database-qualified object name against
+// the session's current database.
+func splitName(db string, n sqlparser.ObjectName) (string, string) {
+	if len(n.Parts) >= 2 {
+		return n.Parts[0], n.Parts[1]
+	}
+	return db, n.Last()
+}
+
+// DescribeTable reports the schema of a table or view for IMPORT. Views
+// are described by executing their definition against an empty result.
+func DescribeTable(tx *relstore.Tx, db, name string) ([]relstore.Column, error) {
+	d, err := txStoreDatabase(tx, db)
+	if err != nil {
+		return nil, err
+	}
+	if tbl, err := d.Table(name); err == nil {
+		return append([]relstore.Column(nil), tbl.Columns...), nil
+	}
+	v, err := d.View(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, db, name)
+	}
+	stmt, err := sqlparser.ParseStatement(v.Definition)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: bad view definition %s.%s: %v", db, name, err)
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: view %s.%s is not a SELECT", db, name)
+	}
+	res, err := execSelect(tx, db, sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]relstore.Column, len(res.Columns))
+	for i, c := range res.Columns {
+		cols[i] = relstore.Column{Name: c.Name, Type: c.Type}
+	}
+	return cols, nil
+}
+
+// txStoreDatabase fetches the database through the transaction's store via
+// a read lock on nothing — schema reads are catalog lookups.
+func txStoreDatabase(tx *relstore.Tx, db string) (*relstore.Database, error) {
+	// The Tx does not expose its store; take a shared table lock lazily in
+	// the scan paths instead. Schema metadata reads are safe because DDL
+	// under way in another transaction holds exclusive locks on the names
+	// it touches, and Go map reads here are guarded by the store lock.
+	return tx.StoreDatabase(db)
+}

@@ -1,0 +1,145 @@
+package sqlengine
+
+import (
+	"msql/internal/relstore"
+	"msql/internal/sqlparser"
+)
+
+// joinPlan distributes WHERE conjuncts over the join's loop levels and
+// records hash-join opportunities. Conjuncts that cannot be classified
+// safely (subqueries, unresolvable references) stay at the last level,
+// where every source is bound.
+type joinPlan struct {
+	level map[int][]sqlparser.Expr
+	hash  map[int]*hashJoin
+}
+
+// hashJoin is one equality-driven probe: source i's rows indexed by
+// buildExpr, probed with probeExpr (which references earlier sources
+// only).
+type hashJoin struct {
+	buildExpr sqlparser.Expr
+	probeExpr sqlparser.Expr
+	table     map[string][]relstore.Row
+}
+
+// build populates the hash table once.
+func (h *hashJoin) build(e *env, i int) error {
+	if h.table != nil {
+		return nil
+	}
+	h.table = make(map[string][]relstore.Row)
+	saved := e.current[i]
+	for _, row := range e.sources[i].rows {
+		e.current[i] = row
+		v, err := evalExpr(e, h.buildExpr)
+		if err != nil {
+			e.current[i] = saved
+			return err
+		}
+		if v.IsNull() {
+			continue // NULL never joins
+		}
+		key := v.GroupKey()
+		h.table[key] = append(h.table[key], row)
+	}
+	e.current[i] = saved
+	return nil
+}
+
+// DisableJoinOptimization turns off predicate pushdown and hash joins,
+// reverting to full cartesian enumeration with post-filtering. It exists
+// only for the B9 ablation benchmark and must stay false in production
+// use; it is not synchronized.
+var DisableJoinOptimization = false
+
+// planJoin analyzes the WHERE clause against the bound sources.
+func planJoin(e *env, where sqlparser.Expr) (*joinPlan, error) {
+	plan := &joinPlan{
+		level: make(map[int][]sqlparser.Expr),
+		hash:  make(map[int]*hashJoin),
+	}
+	if where == nil || len(e.sources) == 0 {
+		return plan, nil
+	}
+	last := len(e.sources) - 1
+	if DisableJoinOptimization {
+		plan.level[last] = splitConjuncts(where)
+		return plan, nil
+	}
+	for _, c := range splitConjuncts(where) {
+		mask, pure := conjunctSources(e, c)
+		lvl := last
+		if pure {
+			lvl = highestSource(mask, last)
+		}
+		// Hash-join opportunity: a pure equality whose sides split into
+		// {source lvl} and {sources < lvl}.
+		if pure && lvl > 0 {
+			if eq, ok := c.(*sqlparser.BinaryExpr); ok && eq.Op == "=" && plan.hash[lvl] == nil {
+				lm, lok := exprSources(e, eq.L)
+				rm, rok := exprSources(e, eq.R)
+				ownBit := uint64(1) << uint(lvl)
+				below := ownBit - 1
+				switch {
+				case lok && rok && lm == ownBit && rm != 0 && rm&^below == 0:
+					plan.hash[lvl] = &hashJoin{buildExpr: eq.L, probeExpr: eq.R}
+				case lok && rok && rm == ownBit && lm != 0 && lm&^below == 0:
+					plan.hash[lvl] = &hashJoin{buildExpr: eq.R, probeExpr: eq.L}
+				}
+			}
+		}
+		plan.level[lvl] = append(plan.level[lvl], c)
+	}
+	return plan, nil
+}
+
+func splitConjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// conjunctSources returns the bitmask of source indexes a conjunct
+// references. pure is false when the conjunct contains subqueries or
+// references this level cannot resolve (e.g. correlated names), in which
+// case it must wait until every source is bound.
+func conjunctSources(e *env, c sqlparser.Expr) (uint64, bool) {
+	return exprSources(e, c)
+}
+
+func exprSources(e *env, x sqlparser.Expr) (uint64, bool) {
+	var mask uint64
+	pure := true
+	walkShallow(x, func(n sqlparser.Expr) {
+		switch v := n.(type) {
+		case sqlparser.ColRef:
+			idx, _, err := e.resolve(v)
+			if err != nil {
+				pure = false
+				return
+			}
+			mask |= 1 << uint(idx/1000)
+		case *sqlparser.SubqueryExpr:
+			pure = false
+		case *sqlparser.InExpr:
+			if v.Query != nil {
+				pure = false
+			}
+		}
+	})
+	return mask, pure
+}
+
+func highestSource(mask uint64, last int) int {
+	for i := last; i >= 0; i-- {
+		if mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return 0
+}

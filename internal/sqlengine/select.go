@@ -1,0 +1,470 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// boundSource is one FROM-clause input materialized for joining.
+type boundSource struct {
+	qualifier string // alias, or the table/view name
+	cols      []relstore.Column
+	rows      []relstore.Row
+}
+
+// env is the expression evaluation environment: the current row of every
+// bound source, an optional parent for correlated subqueries, and
+// aggregate results when evaluating grouped projections.
+type env struct {
+	tx      *relstore.Tx
+	db      string
+	sources []*boundSource
+	current []relstore.Row // current row per source
+	parent  *env
+	aggs    map[*sqlparser.FuncCall]sqlval.Value
+}
+
+// execSelect runs a SELECT, including UNION branches. outer is the
+// enclosing environment for correlated subqueries, nil at the top level.
+func execSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env) (*Result, error) {
+	if len(sel.Unions) == 0 {
+		return execSingleSelect(tx, db, sel, outer)
+	}
+	base := *sel
+	base.Unions = nil
+	res, err := execSingleSelect(tx, db, &base, outer)
+	if err != nil {
+		return nil, err
+	}
+	dedupe := false
+	for _, u := range sel.Unions {
+		if !u.All {
+			dedupe = true
+		}
+		part, err := execSelect(tx, db, u.Select, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(part.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("sqlengine: UNION branches have %d and %d columns", len(res.Columns), len(part.Columns))
+		}
+		res.Rows = append(res.Rows, part.Rows...)
+	}
+	if dedupe {
+		seen := map[string]bool{}
+		kept := res.Rows[:0]
+		for _, r := range res.Rows {
+			key := ""
+			for _, v := range r {
+				key += v.GroupKey() + "\x00"
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, r)
+		}
+		res.Rows = kept
+	}
+	res.RowsAffected = len(res.Rows)
+	return res, nil
+}
+
+// execSingleSelect runs one union-free SELECT branch.
+func execSingleSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env) (*Result, error) {
+	e := &env{tx: tx, db: db, parent: outer}
+	for _, ref := range sel.From {
+		src, err := bindSource(tx, db, ref)
+		if err != nil {
+			return nil, err
+		}
+		e.sources = append(e.sources, src)
+	}
+	e.current = make([]relstore.Row, len(e.sources))
+
+	// Gather the joined, filtered input rows. The join planner pushes
+	// WHERE conjuncts down to the first loop level where they are fully
+	// bound and turns equality conjuncts across sources into hash-join
+	// probes, so multi-table joins avoid the full cartesian product.
+	var inputs [][]relstore.Row
+	plan, err := planJoin(e, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	var gather func(i int) error
+	gather = func(i int) error {
+		if i == len(e.sources) {
+			inputs = append(inputs, append([]relstore.Row(nil), e.current...))
+			return nil
+		}
+		visit := func(row relstore.Row) (bool, error) {
+			e.current[i] = row
+			for _, c := range plan.level[i] {
+				v, err := evalExpr(e, c)
+				if err != nil {
+					return false, err
+				}
+				if !v.Truthy() {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		if hs := plan.hash[i]; hs != nil {
+			if err := hs.build(e, i); err != nil {
+				return err
+			}
+			key, err := evalExpr(e, hs.probeExpr)
+			if err != nil {
+				return err
+			}
+			if key.IsNull() {
+				e.current[i] = nil
+				return nil
+			}
+			for _, row := range hs.table[key.GroupKey()] {
+				ok, err := visit(row)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := gather(i + 1); err != nil {
+						return err
+					}
+				}
+			}
+			e.current[i] = nil
+			return nil
+		}
+		for _, row := range e.sources[i].rows {
+			ok, err := visit(row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := gather(i + 1); err != nil {
+					return err
+				}
+			}
+		}
+		e.current[i] = nil
+		return nil
+	}
+	if len(e.sources) == 0 {
+		// SELECT without FROM: one empty row, unless WHERE filters it.
+		keep := true
+		if sel.Where != nil {
+			v, err := evalExpr(e, sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			keep = v.Truthy()
+		}
+		if keep {
+			inputs = append(inputs, nil)
+		}
+	} else if err := gather(0); err != nil {
+		return nil, err
+	}
+
+	grouped := len(sel.GroupBy) > 0 || hasAggregate(sel)
+	if grouped {
+		return execGrouped(e, sel, inputs)
+	}
+	return project(e, sel, inputs)
+}
+
+// bindSource materializes one FROM entry: a base table, a view, or a
+// database-qualified name.
+func bindSource(tx *relstore.Tx, db string, ref sqlparser.TableRef) (*boundSource, error) {
+	tdb, tname := splitName(db, ref.Name)
+	qual := ref.Alias
+	if qual == "" {
+		qual = tname
+	}
+	d, err := tx.StoreDatabase(tdb)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Table(tname); err == nil {
+		tbl, err := tx.TableForRead(tdb, tname)
+		if err != nil {
+			return nil, err
+		}
+		src := &boundSource{qualifier: qual, cols: append([]relstore.Column(nil), tbl.Columns...)}
+		tbl.ForEach(func(idx int, row relstore.Row) bool {
+			src.rows = append(src.rows, row)
+			return true
+		})
+		return src, nil
+	}
+	if v, err := d.View(tname); err == nil {
+		stmt, err := sqlparser.ParseStatement(v.Definition)
+		if err != nil {
+			return nil, fmt.Errorf("sqlengine: bad view definition %s.%s: %v", tdb, tname, err)
+		}
+		vsel, ok := stmt.(*sqlparser.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: view %s.%s is not a SELECT", tdb, tname)
+		}
+		res, err := execSelect(tx, tdb, vsel, nil)
+		if err != nil {
+			return nil, err
+		}
+		src := &boundSource{qualifier: qual}
+		for _, c := range res.Columns {
+			src.cols = append(src.cols, relstore.Column{Name: c.Name, Type: c.Type})
+		}
+		for _, r := range res.Rows {
+			src.rows = append(src.rows, relstore.Row(r))
+		}
+		return src, nil
+	}
+	return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, tdb, tname)
+}
+
+// project evaluates the projection list, ORDER BY, DISTINCT and LIMIT over
+// ungrouped input rows.
+func project(e *env, sel *sqlparser.SelectStmt, inputs [][]relstore.Row) (*Result, error) {
+	cols, items, err := expandItems(e, sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	var outs []rowWithKeys
+	for _, in := range inputs {
+		e.current = in
+		vals := make([]sqlval.Value, len(items))
+		for i, it := range items {
+			v, err := evalExpr(e, it)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		keys, err := orderKeys(e, sel, cols, vals)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, rowWithKeys{vals: vals, keys: keys})
+	}
+	return finishResult(sel, res, outs)
+}
+
+type rowWithKeys struct {
+	vals []sqlval.Value
+	keys []sqlval.Value
+}
+
+// finishResult applies ORDER BY keys, DISTINCT and LIMIT.
+func finishResult(sel *sqlparser.SelectStmt, res *Result, rows []rowWithKeys) (*Result, error) {
+	if len(sel.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k := range sel.OrderBy {
+				c := sqlval.SortCompare(rows[i].keys[k], rows[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if sel.Distinct {
+			key := ""
+			for _, v := range r.vals {
+				key += v.GroupKey() + "\x00"
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, r.vals)
+		if sel.Limit >= 0 && len(res.Rows) >= sel.Limit {
+			break
+		}
+	}
+	if sel.Limit == 0 {
+		res.Rows = nil
+	}
+	res.RowsAffected = len(res.Rows)
+	// Infer types for columns whose type is still NULL from the data.
+	for ci := range res.Columns {
+		if res.Columns[ci].Type != sqlval.KindNull {
+			continue
+		}
+		for _, r := range res.Rows {
+			if !r[ci].IsNull() {
+				res.Columns[ci].Type = r[ci].K
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// expandItems expands stars and computes output column descriptors.
+func expandItems(e *env, sel *sqlparser.SelectStmt) ([]ResultCol, []sqlparser.Expr, error) {
+	var cols []ResultCol
+	var items []sqlparser.Expr
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.Qualifier == "":
+			for _, src := range e.sources {
+				for _, c := range src.cols {
+					cols = append(cols, ResultCol{Name: c.Name, Type: c.Type})
+					items = append(items, sqlparser.ColRef{Parts: []string{src.qualifier, c.Name}})
+				}
+			}
+			if len(e.sources) == 0 {
+				return nil, nil, fmt.Errorf("sqlengine: SELECT * without FROM")
+			}
+		case it.Star:
+			src := e.findSource(it.Qualifier)
+			if src == nil {
+				return nil, nil, fmt.Errorf("sqlengine: unknown qualifier %q", it.Qualifier)
+			}
+			for _, c := range src.cols {
+				cols = append(cols, ResultCol{Name: c.Name, Type: c.Type})
+				items = append(items, sqlparser.ColRef{Parts: []string{src.qualifier, c.Name}})
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(sqlparser.ColRef); ok {
+					name = cr.Last()
+				} else {
+					name = sqlparser.DeparseExpr(it.Expr)
+				}
+			}
+			typ := sqlval.KindNull
+			if cr, ok := it.Expr.(sqlparser.ColRef); ok {
+				if _, c, err := e.resolve(cr); err == nil {
+					typ = c.Type
+				}
+			}
+			cols = append(cols, ResultCol{Name: name, Type: typ})
+			items = append(items, it.Expr)
+		}
+	}
+	return cols, items, nil
+}
+
+// orderKeys evaluates ORDER BY expressions for one output row. An ORDER BY
+// expression that names an output alias uses the projected value.
+func orderKeys(e *env, sel *sqlparser.SelectStmt, cols []ResultCol, vals []sqlval.Value) ([]sqlval.Value, error) {
+	if len(sel.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]sqlval.Value, len(sel.OrderBy))
+	for i, ob := range sel.OrderBy {
+		if cr, ok := ob.Expr.(sqlparser.ColRef); ok && len(cr.Parts) == 1 {
+			found := false
+			for ci, c := range cols {
+				if c.Name == cr.Parts[0] {
+					keys[i] = vals[ci]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		// Positional ORDER BY n.
+		if lit, ok := ob.Expr.(*sqlparser.Literal); ok {
+			if n, isInt := lit.Val.AsInt(); isInt && lit.Val.K == sqlval.KindInt && n >= 1 && int(n) <= len(vals) {
+				keys[i] = vals[n-1]
+				continue
+			}
+		}
+		v, err := evalExpr(e, ob.Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func (e *env) findSource(qual string) *boundSource {
+	for _, s := range e.sources {
+		if s.qualifier == qual {
+			return s
+		}
+	}
+	return nil
+}
+
+// resolve finds the source and column for a reference.
+func (e *env) resolve(cr sqlparser.ColRef) (int, relstore.Column, error) {
+	switch len(cr.Parts) {
+	case 1:
+		name := cr.Parts[0]
+		foundSrc, foundCol := -1, -1
+		for si, s := range e.sources {
+			for ci, c := range s.cols {
+				if c.Name == name {
+					if foundSrc >= 0 {
+						return 0, relstore.Column{}, fmt.Errorf("%w: %s", ErrAmbiguousColumn, name)
+					}
+					foundSrc, foundCol = si, ci
+				}
+			}
+		}
+		if foundSrc < 0 {
+			return 0, relstore.Column{}, fmt.Errorf("%w: %s", ErrUnknownColumn, name)
+		}
+		return foundSrc*1000 + foundCol, e.sources[foundSrc].cols[foundCol], nil
+	case 2:
+		qual, name := cr.Parts[0], cr.Parts[1]
+		for si, s := range e.sources {
+			if s.qualifier != qual {
+				continue
+			}
+			for ci, c := range s.cols {
+				if c.Name == name {
+					return si*1000 + ci, c, nil
+				}
+			}
+			return 0, relstore.Column{}, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, qual, name)
+		}
+		return 0, relstore.Column{}, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, qual, name)
+	default:
+		// db.table.column: match on the trailing two components.
+		return e.resolve(sqlparser.ColRef{Parts: cr.Parts[len(cr.Parts)-2:], Optional: cr.Optional})
+	}
+}
+
+// lookup returns the current value of a reference, consulting parent
+// environments for correlated subqueries.
+func (e *env) lookup(cr sqlparser.ColRef) (sqlval.Value, error) {
+	idx, _, err := e.resolve(cr)
+	if err == nil {
+		si, ci := idx/1000, idx%1000
+		row := e.current[si]
+		if row == nil {
+			return sqlval.Null(), nil
+		}
+		return row[ci], nil
+	}
+	if e.parent != nil {
+		if v, perr := e.parent.lookup(cr); perr == nil {
+			return v, nil
+		}
+	}
+	if cr.Optional {
+		return sqlval.Null(), nil
+	}
+	return sqlval.Null(), err
+}

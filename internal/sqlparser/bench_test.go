@@ -1,0 +1,64 @@
+package sqlparser
+
+import "testing"
+
+const benchQuery = `SELECT DISTINCT f.source, COUNT(*) AS n, AVG(rate) r
+FROM flights f, f838 s
+WHERE f.rate > 100 AND s.seatstatus <> 'FREE' AND f.day IN ('mon', 'tue')
+GROUP BY f.source HAVING COUNT(*) > 2
+ORDER BY n DESC, f.source LIMIT 10`
+
+func BenchmarkParseSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStatement(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseUpdate(b *testing.B) {
+	const q = "UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston' AND dest% = 'San Antonio'"
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStatement(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeparse(b *testing.B) {
+	s, err := ParseStatement(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Deparse(s) == "" {
+			b.Fatal("empty deparse")
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewrite(b *testing.B) {
+	s, err := ParseStatement(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw := Rewriter{
+		Table: func(n ObjectName) ObjectName { return n },
+		Col:   func(c ColRef) Expr { return c },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if RewriteStatement(s, rw) == nil {
+			b.Fatal("nil rewrite")
+		}
+	}
+}

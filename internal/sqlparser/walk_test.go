@@ -1,0 +1,93 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// countRefs walks a statement and counts column references.
+func countRefs(t *testing.T, src string) int {
+	t.Helper()
+	s, err := ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	WalkExprs(s, func(e Expr) {
+		if _, ok := e.(ColRef); ok {
+			n++
+		}
+	})
+	return n
+}
+
+func TestWalkExprsAcrossStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"SELECT a, b FROM t WHERE c = 1", 3},
+		{"INSERT INTO t (a) VALUES (b + c)", 2}, // column list is not an expression
+		{"INSERT INTO t SELECT a FROM u WHERE b = 1", 2},
+		{"UPDATE t SET a = b WHERE c = 1", 3},
+		{"DELETE FROM t WHERE a = 1 AND b = 2", 2},
+		{"CREATE VIEW v AS SELECT a FROM t WHERE b = 1", 2},
+		{"SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)", 4},
+		{"SELECT a FROM t WHERE b = (SELECT MAX(c) FROM u)", 3},
+		{"SELECT a FROM t WHERE b BETWEEN c AND d", 4},
+		{"SELECT a FROM t WHERE b IS NULL AND c LIKE d", 4},
+		{"SELECT a FROM t GROUP BY b HAVING COUNT(c) > 1 ORDER BY d", 4},
+		{"SELECT a FROM t UNION SELECT b FROM u WHERE c = 1", 3},
+		{"SELECT -a FROM t WHERE NOT (b = 1)", 2},
+	}
+	for _, c := range cases {
+		if got := countRefs(t, c.src); got != c.want {
+			t.Errorf("WalkExprs(%q) saw %d refs, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestWalkExprsDDLIsEmpty(t *testing.T) {
+	for _, src := range []string{
+		"CREATE TABLE t (a INTEGER)",
+		"DROP TABLE t",
+		"CREATE DATABASE d",
+		"BEGIN", "COMMIT", "ROLLBACK",
+	} {
+		if got := countRefs(t, src); got != 0 {
+			t.Errorf("WalkExprs(%q) saw %d refs, want 0", src, got)
+		}
+	}
+}
+
+func TestCloneStatementIsDeep(t *testing.T) {
+	src := "UPDATE t SET a = b + 1 WHERE c = (SELECT MAX(d) FROM u)"
+	s1, err := ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := CloneStatement(s1)
+	// Mutate the clone; the original must not change.
+	s2.(*UpdateStmt).Table = Name("other")
+	s2.(*UpdateStmt).Assigns[0].Column = ColRef{Parts: []string{"x"}}
+	if Deparse(s1) != src {
+		t.Fatalf("original mutated: %s", Deparse(s1))
+	}
+	if Deparse(s2) == src {
+		t.Fatal("clone not mutated")
+	}
+}
+
+func TestDeparseTypeNames(t *testing.T) {
+	src := "CREATE TABLE t (a INTEGER, b FLOAT, c CHAR(8), d CHAR, e BOOLEAN)"
+	s, err := ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Deparse(s)
+	for _, want := range []string{"a INTEGER", "b FLOAT", "c CHAR(8)", "d CHAR", "e BOOLEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("deparse missing %q: %s", want, out)
+		}
+	}
+}

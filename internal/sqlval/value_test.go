@@ -1,0 +1,367 @@
+package sqlval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.String() != "NULL" {
+		t.Fatalf("String() = %q, want NULL", v.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "FLOAT",
+		KindString: "CHAR", KindBool: "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	c, ok := Compare(Int(3), Float(3.0))
+	if !ok || c != 0 {
+		t.Fatalf("Compare(3, 3.0) = %d,%v want 0,true", c, ok)
+	}
+	c, ok = Compare(Int(2), Float(2.5))
+	if !ok || c != -1 {
+		t.Fatalf("Compare(2, 2.5) = %d,%v want -1,true", c, ok)
+	}
+}
+
+func TestCompareNullNeverComparable(t *testing.T) {
+	if _, ok := Compare(Null(), Int(1)); ok {
+		t.Fatal("NULL must be incomparable")
+	}
+	if _, ok := Compare(Null(), Null()); ok {
+		t.Fatal("NULL must be incomparable with NULL")
+	}
+	if Equal(Null(), Null()) {
+		t.Fatal("NULL = NULL must not hold")
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	c, ok := Compare(Str("avis"), Str("national"))
+	if !ok || c >= 0 {
+		t.Fatalf("avis < national expected, got %d,%v", c, ok)
+	}
+}
+
+func TestCompareIncompatibleKinds(t *testing.T) {
+	if _, ok := Compare(Str("1"), Int(1)); ok {
+		t.Fatal("string and int must be incomparable")
+	}
+}
+
+func TestCompareBools(t *testing.T) {
+	if c, ok := Compare(Bool(false), Bool(true)); !ok || c != -1 {
+		t.Fatalf("false < true expected, got %d,%v", c, ok)
+	}
+	if c, ok := Compare(Bool(true), Bool(true)); !ok || c != 0 {
+		t.Fatalf("true = true expected, got %d,%v", c, ok)
+	}
+}
+
+func TestSortCompareTotalOrder(t *testing.T) {
+	// NULL first, then bool, numeric, string.
+	seq := []Value{Null(), Bool(false), Int(1), Str("a")}
+	for i := 0; i < len(seq); i++ {
+		for j := 0; j < len(seq); j++ {
+			got := SortCompare(seq[i], seq[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("SortCompare(%v,%v) = %d, want %d", seq[i], seq[j], got, want)
+			}
+		}
+	}
+}
+
+func TestArithIntStaysInt(t *testing.T) {
+	v, err := Arith(OpAdd, Int(2), Int(3))
+	if err != nil || v != Int(5) {
+		t.Fatalf("2+3 = %v,%v", v, err)
+	}
+	v, err = Arith(OpDiv, Int(6), Int(3))
+	if err != nil || v != Int(2) {
+		t.Fatalf("6/3 = %v,%v", v, err)
+	}
+	v, err = Arith(OpDiv, Int(7), Int(2))
+	if err != nil || v != Float(3.5) {
+		t.Fatalf("7/2 = %v,%v", v, err)
+	}
+}
+
+func TestArithRateRaise(t *testing.T) {
+	// The paper's fare update: rate * 1.1.
+	v, err := Arith(OpMul, Int(100), Float(1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := v.AsFloat()
+	if f < 109.99 || f > 110.01 {
+		t.Fatalf("100*1.1 = %v", v)
+	}
+}
+
+func TestArithNullPropagates(t *testing.T) {
+	v, err := Arith(OpMul, Null(), Int(3))
+	if err != nil || !v.IsNull() {
+		t.Fatalf("NULL*3 = %v,%v want NULL,nil", v, err)
+	}
+}
+
+func TestArithDivisionByZero(t *testing.T) {
+	if _, err := Arith(OpDiv, Int(1), Int(0)); err == nil {
+		t.Fatal("int division by zero must error")
+	}
+	if _, err := Arith(OpDiv, Float(1), Float(0)); err == nil {
+		t.Fatal("float division by zero must error")
+	}
+	if _, err := Arith(OpMod, Int(1), Int(0)); err == nil {
+		t.Fatal("modulo by zero must error")
+	}
+}
+
+func TestArithStringConcat(t *testing.T) {
+	v, err := Arith(OpAdd, Str("san "), Str("antonio"))
+	if err != nil || v.S != "san antonio" {
+		t.Fatalf("concat = %v,%v", v, err)
+	}
+}
+
+func TestArithTypeError(t *testing.T) {
+	if _, err := Arith(OpMul, Str("a"), Int(1)); err == nil {
+		t.Fatal("string*int must error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(Int(4)); v != Int(-4) {
+		t.Fatalf("neg 4 = %v", v)
+	}
+	if v, _ := Neg(Float(2.5)); v != Float(-2.5) {
+		t.Fatalf("neg 2.5 = %v", v)
+	}
+	if v, _ := Neg(Null()); !v.IsNull() {
+		t.Fatalf("neg NULL = %v", v)
+	}
+	if _, err := Neg(Str("x")); err == nil {
+		t.Fatal("neg string must error")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"flights", "flight%", true},
+		{"flight", "flight%", true},
+		{"fl", "flight%", false},
+		{"rate", "rate%", true},
+		{"rates", "rate%", true},
+		{"Houston", "H_uston", true},
+		{"Houston", "h%", false}, // case sensitive
+		{"abc", "%b%", true},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "a%c", true},
+		{"axbxc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := Like(c.s, c.p); got != c.want {
+			t.Errorf("Like(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSQLQuoting(t *testing.T) {
+	if got := Str("O'Hare").SQL(); got != "'O''Hare'" {
+		t.Fatalf("SQL() = %q", got)
+	}
+	if got := Int(5).SQL(); got != "5" {
+		t.Fatalf("SQL() = %q", got)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	v, err := CoerceTo(Str("12"), KindInt)
+	if err != nil || v != Int(12) {
+		t.Fatalf("coerce '12' to int = %v,%v", v, err)
+	}
+	v, err = CoerceTo(Int(3), KindFloat)
+	if err != nil || v != Float(3) {
+		t.Fatalf("coerce 3 to float = %v,%v", v, err)
+	}
+	v, err = CoerceTo(Float(4.0), KindInt)
+	if err != nil || v != Int(4) {
+		t.Fatalf("coerce 4.0 to int = %v,%v", v, err)
+	}
+	if _, err = CoerceTo(Float(4.5), KindInt); err == nil {
+		t.Fatal("coerce 4.5 to int must error")
+	}
+	v, err = CoerceTo(Int(7), KindString)
+	if err != nil || v.S != "7" {
+		t.Fatalf("coerce 7 to string = %v,%v", v, err)
+	}
+	if v, err := CoerceTo(Null(), KindInt); err != nil || !v.IsNull() {
+		t.Fatalf("coerce NULL = %v,%v", v, err)
+	}
+}
+
+func TestGroupKeyIntFloatUnify(t *testing.T) {
+	if Int(3).GroupKey() != Float(3.0).GroupKey() {
+		t.Fatal("3 and 3.0 must share a group key")
+	}
+	if Int(3).GroupKey() == Str("3").GroupKey() {
+		t.Fatal("3 and '3' must not share a group key")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for non-null
+// numeric pairs.
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Compare(Int(a), Int(b))
+		c2, ok2 := Compare(Int(b), Int(a))
+		return ok1 && ok2 && c1 == -c2 && (c1 == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SortCompare is a total order (antisymmetric over a value pool).
+func TestQuickSortCompareAntisymmetry(t *testing.T) {
+	f := func(ai, bi int64, as, bs string, pick uint8) bool {
+		pool := []Value{Null(), Int(ai), Int(bi), Float(float64(ai) / 3), Str(as), Str(bs), Bool(ai%2 == 0)}
+		a := pool[int(pick)%len(pool)]
+		b := pool[int(pick/7)%len(pool)]
+		return SortCompare(a, b) == -SortCompare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Like(s, s) holds for wildcard-free strings, and "%"+s matches s.
+func TestQuickLikeIdentity(t *testing.T) {
+	f := func(s string) bool {
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' {
+				clean += string(r)
+			}
+		}
+		return Like(clean, clean) && Like(clean, "%"+clean) && Like(clean, clean+"%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer arithmetic matches Go semantics when no division is
+// involved.
+func TestQuickIntArith(t *testing.T) {
+	f := func(a, b int32) bool {
+		add, _ := Arith(OpAdd, Int(int64(a)), Int(int64(b)))
+		sub, _ := Arith(OpSub, Int(int64(a)), Int(int64(b)))
+		mul, _ := Arith(OpMul, Int(int64(a)), Int(int64(b)))
+		return add == Int(int64(a)+int64(b)) && sub == Int(int64(a)-int64(b)) && mul == Int(int64(a)*int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"42":    Int(42),
+		"1.5":   Float(1.5),
+		"hello": Str("hello"),
+		"TRUE":  Bool(true),
+		"FALSE": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+	if (Value{K: Kind(99)}).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind name should still render")
+	}
+}
+
+func TestGroupKeyAllKinds(t *testing.T) {
+	keys := map[string]bool{}
+	for _, v := range []Value{Null(), Int(1), Float(2.5), Str("s"), Bool(true), Bool(false)} {
+		k := v.GroupKey()
+		if keys[k] {
+			t.Errorf("duplicate group key %q", k)
+		}
+		keys[k] = true
+	}
+	if (Value{K: Kind(99)}).GroupKey() != "?" {
+		t.Error("unknown kind group key")
+	}
+}
+
+func TestArithOpStrings(t *testing.T) {
+	for _, op := range []ArithOp{OpAdd, OpSub, OpMul, OpDiv, OpMod} {
+		if op.String() == "?" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if ArithOp(99).String() != "?" {
+		t.Error("unknown op should be ?")
+	}
+}
+
+func TestArithModulo(t *testing.T) {
+	v, err := Arith(OpMod, Int(7), Int(3))
+	if err != nil || v != Int(1) {
+		t.Fatalf("7%%3 = %v, %v", v, err)
+	}
+	v, err = Arith(OpMod, Float(7), Float(3))
+	if err != nil || v.K != KindFloat {
+		t.Fatalf("7.0%%3.0 = %v, %v", v, err)
+	}
+	if _, err := Arith(OpMod, Float(1), Float(0)); err == nil {
+		t.Fatal("float mod by zero should error")
+	}
+}
+
+func TestCoerceBool(t *testing.T) {
+	v, err := CoerceTo(Int(1), KindBool)
+	if err != nil || v != Bool(true) {
+		t.Fatalf("coerce 1 to bool = %v, %v", v, err)
+	}
+	if _, err := CoerceTo(Str("x"), KindBool); err == nil {
+		t.Fatal("coerce string to bool should error")
+	}
+	v, err = CoerceTo(Str("2.5"), KindFloat)
+	if err != nil || v != Float(2.5) {
+		t.Fatalf("coerce '2.5' = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,153 @@
+package translate
+
+import (
+	"fmt"
+
+	"msql/internal/dol"
+	"msql/internal/msqlparser"
+	"msql/internal/semvar"
+	"msql/internal/sqlparser"
+)
+
+// mtxTask is one subquery of a multitransaction, addressed by its scope
+// entry name in acceptable states.
+type mtxTask struct {
+	task  *dol.TaskStmt
+	entry semvar.ScopeEntry
+	comp  sqlparser.Statement // nil when the service has 2PC
+	stmt  int
+}
+
+// TranslateMultiTx builds the plan for BEGIN/END MULTITRANSACTION (§3.4):
+// every subquery runs NOCOMMIT (or autocommits with a registered COMP
+// clause on non-2PC services) and stays prepared until the COMMIT point;
+// the acceptable termination states are then checked in specification
+// order, the first reachable one is installed, and everything outside it
+// is rolled back or compensated. If no state is reachable the whole
+// multitransaction is rolled back or compensated.
+//
+// DOLSTATUS reports the index of the achieved acceptable state, or
+// Meta.FailStatus (== number of states) when the multitransaction failed.
+func (c *Context) TranslateMultiTx(m *msqlparser.MultiTxStmt) (*dol.Program, *Meta, error) {
+	b := newBuilder(c)
+
+	var scope []semvar.ScopeEntry
+	var lets []msqlparser.LetBinding
+	byName := make(map[string]*mtxTask)
+	var all []*mtxTask
+
+	stmtIdx := 0
+	for _, s := range m.Body {
+		switch st := s.(type) {
+		case *msqlparser.UseStmt:
+			if st.Current {
+				scope = append(scope, semvar.ScopeFromUse(st)...)
+			} else {
+				scope = semvar.ScopeFromUse(st)
+			}
+			lets = nil
+		case *msqlparser.LetStmt:
+			lets = append(lets, st.Bindings...)
+		case *msqlparser.QueryStmt:
+			if len(scope) == 0 {
+				return nil, nil, ErrNoScope
+			}
+			res, err := semvar.Expand(c.GDD, scope, lets, st.Body)
+			if err != nil {
+				return nil, nil, fmt.Errorf("multitransaction statement %d: %w", stmtIdx+1, err)
+			}
+			b.meta.Skipped = append(b.meta.Skipped, res.Skipped...)
+			for _, el := range res.Queries {
+				if el.Global {
+					return nil, nil, fmt.Errorf("multitransaction statement %d: %w", stmtIdx+1, ErrCrossInUnit)
+				}
+				if _, dup := byName[el.Entry.Name]; dup {
+					return nil, nil, fmt.Errorf("%w: %s", ErrDuplicateDB, el.Entry.Name)
+				}
+				_, twoPC, err := c.serviceInfo(el.Entry.Database)
+				if err != nil {
+					return nil, nil, err
+				}
+				var comp sqlparser.Statement
+				if !twoPC {
+					body, ok := findComp(st, el.Entry)
+					if !ok {
+						return nil, nil, fmt.Errorf("%w: %s", ErrVitalNeedsComp, el.Entry.Name)
+					}
+					comp = body
+				}
+				task, err := b.addTask(el.Entry, twoPC, RoleWrite, stmtIdx, comp != nil, el.Stmt)
+				if err != nil {
+					return nil, nil, err
+				}
+				mt := &mtxTask{task: task, entry: el.Entry, comp: comp, stmt: stmtIdx}
+				byName[el.Entry.Name] = mt
+				all = append(all, mt)
+			}
+			stmtIdx++
+		default:
+			return nil, nil, fmt.Errorf("translate: unsupported statement %T in multitransaction", s)
+		}
+	}
+
+	// Validate acceptable states.
+	for _, state := range m.AcceptableStates {
+		for _, name := range state {
+			if _, ok := byName[name]; !ok {
+				return nil, nil, fmt.Errorf("%w: %s", ErrBadState, name)
+			}
+		}
+	}
+	b.meta.AcceptableStates = m.AcceptableStates
+	b.meta.FailStatus = len(m.AcceptableStates)
+
+	// Build the nested IF chain: states in preference order, then the
+	// failure block.
+	fail := b.abortAndCompensate(pairsOf(all, nil))
+	fail = append(fail, &dol.StatusStmt{Code: b.meta.FailStatus})
+	chain := fail
+	for i := len(m.AcceptableStates) - 1; i >= 0; i-- {
+		state := m.AcceptableStates[i]
+		inState := make(map[string]bool, len(state))
+		var conds []dol.Cond
+		var commits []string
+		for _, name := range state {
+			inState[name] = true
+			mt := byName[name]
+			if mt.comp == nil {
+				conds = append(conds, &dol.StatusCond{Task: mt.task.Name, Status: dol.StatusPrepared})
+				commits = append(commits, mt.task.Name)
+			} else {
+				conds = append(conds, &dol.StatusCond{Task: mt.task.Name, Status: dol.StatusCommitted})
+			}
+			if m.Effective {
+				conds = append(conds, &dol.RowsCond{Task: mt.task.Name, MinRows: 0})
+			}
+		}
+		var thenStmts []dol.Stmt
+		if len(commits) > 0 {
+			thenStmts = append(thenStmts, &dol.CommitStmt{Tasks: commits})
+		}
+		// Members outside the state are rolled back or compensated —
+		// "the exclusion of Delta and Avis subtransactions is implicit".
+		thenStmts = append(thenStmts, b.abortAndCompensate(pairsOf(all, inState))...)
+		thenStmts = append(thenStmts, &dol.StatusStmt{Code: i})
+		chain = []dol.Stmt{&dol.IfStmt{Cond: conj(conds), Then: thenStmts, Else: chain}}
+	}
+	b.prog.Stmts = append(b.prog.Stmts, chain...)
+	b.closeAll()
+	return b.prog, b.meta, nil
+}
+
+// pairsOf converts multitransaction tasks (excluding those in keep) into
+// vital pairs for abortAndCompensate.
+func pairsOf(all []*mtxTask, keep map[string]bool) []vitalPair {
+	var out []vitalPair
+	for _, mt := range all {
+		if keep != nil && keep[mt.entry.Name] {
+			continue
+		}
+		out = append(out, vitalPair{task: mt.task, entry: mt.entry, comp: mt.comp, stmt: mt.stmt})
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package wire defines the message protocol spoken between the DOL engine
+// and the Local Access Managers. Messages are gob-encoded over any
+// net.Conn; the same structures back the in-process transport, so both
+// paths exercise identical marshalling.
+//
+// The protocol mirrors the operations the paper's evaluation plans need
+// from a LAM: open a session on a database, execute local SQL, drive the
+// 2PC interface (prepare/commit/rollback), inspect the session state, and
+// describe schemas for IMPORT.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"msql/internal/ldbms"
+	"msql/internal/relstore"
+	"msql/internal/sqlval"
+)
+
+// ReqKind identifies a request operation.
+type ReqKind uint8
+
+// Request kinds.
+const (
+	ReqHello ReqKind = iota
+	ReqProfile
+	ReqOpen
+	ReqExec
+	ReqPrepare
+	ReqCommit
+	ReqRollback
+	ReqState
+	ReqCloseSession
+	ReqDescribe
+	ReqListTables
+	ReqListViews
+)
+
+func (k ReqKind) String() string {
+	names := [...]string{"hello", "profile", "open", "exec", "prepare", "commit",
+		"rollback", "state", "close-session", "describe", "list-tables", "list-views"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("ReqKind(%d)", uint8(k))
+}
+
+// Request is one client message.
+type Request struct {
+	Kind      ReqKind
+	SessionID int64
+	Database  string // ReqOpen
+	SQL       string // ReqExec
+	Name      string // ReqDescribe: table or view name
+}
+
+// Column mirrors relstore.Column across the wire.
+type Column struct {
+	Name  string
+	Type  uint8
+	Width int
+}
+
+// ToRelstore converts wire columns back.
+func ToRelstoreColumns(cols []Column) []relstore.Column {
+	out := make([]relstore.Column, len(cols))
+	for i, c := range cols {
+		out[i] = relstore.Column{Name: c.Name, Type: sqlval.Kind(c.Type), Width: c.Width}
+	}
+	return out
+}
+
+// FromRelstoreColumns converts storage columns to wire form.
+func FromRelstoreColumns(cols []relstore.Column) []Column {
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		out[i] = Column{Name: c.Name, Type: uint8(c.Type), Width: c.Width}
+	}
+	return out
+}
+
+// Result carries a query result across the wire.
+type Result struct {
+	Columns      []Column
+	Rows         [][]sqlval.Value
+	RowsAffected int
+}
+
+// Profile mirrors ldbms.Profile across the wire.
+type Profile struct {
+	Name              string
+	MultiDatabase     bool
+	TwoPC             bool
+	AutoCommitClasses []uint8
+}
+
+// FromProfile converts a server profile to wire form.
+func FromProfile(p ldbms.Profile) Profile {
+	w := Profile{Name: p.Name, MultiDatabase: p.MultiDatabase, TwoPC: p.TwoPC}
+	for c, on := range p.AutoCommitClasses {
+		if on {
+			w.AutoCommitClasses = append(w.AutoCommitClasses, uint8(c))
+		}
+	}
+	return w
+}
+
+// ToProfile converts wire form back to a server profile.
+func (w Profile) ToProfile() ldbms.Profile {
+	p := ldbms.Profile{
+		Name:              w.Name,
+		MultiDatabase:     w.MultiDatabase,
+		TwoPC:             w.TwoPC,
+		AutoCommitClasses: make(map[ldbms.StmtClass]bool, len(w.AutoCommitClasses)),
+	}
+	for _, c := range w.AutoCommitClasses {
+		p.AutoCommitClasses[ldbms.StmtClass(c)] = true
+	}
+	return p
+}
+
+// Error codes preserved across the wire so errors.Is keeps working for
+// the sentinels the coordinator's plans branch on.
+const (
+	CodeNone        = ""
+	CodeNoTwoPC     = "no-2pc"
+	CodeInjected    = "injected-fault"
+	CodeLockTimeout = "lock-timeout"
+	CodeState       = "session-state"
+	CodeNoTable     = "no-table"
+	CodeNoDatabase  = "no-database"
+	CodeOther       = "error"
+)
+
+// EncodeError maps an error to a wire code plus message.
+func EncodeError(err error) (code, msg string) {
+	if err == nil {
+		return CodeNone, ""
+	}
+	switch {
+	case errors.Is(err, ldbms.ErrNoTwoPC):
+		code = CodeNoTwoPC
+	case errors.Is(err, ldbms.ErrInjected):
+		code = CodeInjected
+	case errors.Is(err, relstore.ErrLockTimeout):
+		code = CodeLockTimeout
+	case errors.Is(err, ldbms.ErrSessionState):
+		code = CodeState
+	case errors.Is(err, relstore.ErrNoTable):
+		code = CodeNoTable
+	case errors.Is(err, relstore.ErrNoDatabase):
+		code = CodeNoDatabase
+	default:
+		code = CodeOther
+	}
+	return code, err.Error()
+}
+
+// DecodeError reconstructs an error from a wire code and message, wrapping
+// the matching sentinel when one exists.
+func DecodeError(code, msg string) error {
+	if code == CodeNone {
+		return nil
+	}
+	var sentinel error
+	switch code {
+	case CodeNoTwoPC:
+		sentinel = ldbms.ErrNoTwoPC
+	case CodeInjected:
+		sentinel = ldbms.ErrInjected
+	case CodeLockTimeout:
+		sentinel = relstore.ErrLockTimeout
+	case CodeState:
+		sentinel = ldbms.ErrSessionState
+	case CodeNoTable:
+		sentinel = relstore.ErrNoTable
+	case CodeNoDatabase:
+		sentinel = relstore.ErrNoDatabase
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w: remote: %s", sentinel, msg)
+}
+
+// Response is one server message.
+type Response struct {
+	ErrCode   string
+	ErrMsg    string
+	SessionID int64
+	Result    *Result
+	Columns   []Column
+	Names     []string
+	State     uint8
+	Profile   Profile
+	ServiceNm string
+}
+
+// Err returns the decoded error of the response.
+func (r *Response) Err() error { return DecodeError(r.ErrCode, r.ErrMsg) }

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"msql/internal/ldbms"
+	"msql/internal/relstore"
+	"msql/internal/sqlval"
+)
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	cases := []error{
+		ldbms.ErrNoTwoPC,
+		ldbms.ErrInjected,
+		ldbms.ErrSessionState,
+		relstore.ErrLockTimeout,
+		relstore.ErrNoTable,
+		relstore.ErrNoDatabase,
+	}
+	for _, sentinel := range cases {
+		code, msg := EncodeError(sentinel)
+		back := DecodeError(code, msg)
+		if !errors.Is(back, sentinel) {
+			t.Errorf("sentinel %v lost across the wire: %v", sentinel, back)
+		}
+	}
+	code, msg := EncodeError(errors.New("plain failure"))
+	if code != CodeOther {
+		t.Fatalf("code = %s", code)
+	}
+	if DecodeError(code, msg).Error() != "plain failure" {
+		t.Fatal("message lost")
+	}
+	if DecodeError(CodeNone, "") != nil {
+		t.Fatal("empty code should be nil error")
+	}
+	if c, _ := EncodeError(nil); c != CodeNone {
+		t.Fatal("nil error should encode to CodeNone")
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := ldbms.ProfileIngresLike()
+	w := FromProfile(p)
+	back := w.ToProfile()
+	if back.Name != p.Name || back.TwoPC != p.TwoPC || back.MultiDatabase != p.MultiDatabase {
+		t.Fatalf("profile = %+v", back)
+	}
+	if !back.AutoCommits(ldbms.ClassCreate) || back.AutoCommits(ldbms.ClassUpdate) {
+		t.Fatalf("autocommit classes lost: %+v", back.AutoCommitClasses)
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	cols := []relstore.Column{
+		{Name: "code", Type: sqlval.KindInt},
+		{Name: "cartype", Type: sqlval.KindString, Width: 20},
+	}
+	back := ToRelstoreColumns(FromRelstoreColumns(cols))
+	if len(back) != 2 || back[1].Width != 20 || back[0].Type != sqlval.KindInt {
+		t.Fatalf("cols = %+v", back)
+	}
+}
+
+func TestGobEncodableMessages(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	req := Request{Kind: ReqExec, SessionID: 7, SQL: "SELECT 1"}
+	if err := enc.Encode(&req); err != nil {
+		t.Fatal(err)
+	}
+	var gotReq Request
+	if err := dec.Decode(&gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.SQL != "SELECT 1" || gotReq.SessionID != 7 {
+		t.Fatalf("req = %+v", gotReq)
+	}
+
+	resp := Response{
+		Result: &Result{
+			Columns: []Column{{Name: "a", Type: uint8(sqlval.KindInt)}},
+			Rows:    [][]sqlval.Value{{sqlval.Int(1)}, {sqlval.Null()}},
+		},
+	}
+	if err := enc.Encode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	var gotResp Response
+	if err := dec.Decode(&gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotResp.Result.Rows) != 2 || !gotResp.Result.Rows[1][0].IsNull() {
+		t.Fatalf("resp = %+v", gotResp.Result)
+	}
+}
+
+func TestReqKindStrings(t *testing.T) {
+	if ReqExec.String() != "exec" || ReqOpen.String() != "open" {
+		t.Fatal("kind names wrong")
+	}
+	if ReqKind(200).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
