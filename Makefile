@@ -1,0 +1,16 @@
+.PHONY: build test bench check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+# Full verification: static analysis plus the whole test suite under the
+# race detector (the fault-injection tests are concurrency-heavy).
+check:
+	go vet ./...
+	go test -race ./...

@@ -6,6 +6,7 @@ package msql
 // primary code path with testing.B.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -201,7 +202,7 @@ func BenchmarkB2_CommitModes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sess, err := client.Open("db")
+		sess, err := client.Open(context.Background(), "db")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func BenchmarkB2_CommitModes(b *testing.B) {
 		defer cleanup()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Exec("UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
+			if _, err := sess.Exec(context.Background(), "UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -222,13 +223,13 @@ func BenchmarkB2_CommitModes(b *testing.B) {
 		defer cleanup()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Exec("UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
+			if _, err := sess.Exec(context.Background(), "UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
 				b.Fatal(err)
 			}
-			if err := sess.Prepare(); err != nil {
+			if err := sess.Prepare(context.Background()); err != nil {
 				b.Fatal(err)
 			}
-			if err := sess.Commit(); err != nil {
+			if err := sess.Commit(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -298,14 +299,14 @@ func BenchmarkB5_Transport(b *testing.B) {
 	boot.Close()
 
 	b.Run("inprocess", func(b *testing.B) {
-		sess, err := lam.NewLocal(srv).Open("db")
+		sess, err := lam.NewLocal(srv).Open(context.Background(), "db")
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer sess.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Exec("SELECT id FROM t"); err != nil {
+			if _, err := sess.Exec(context.Background(), "SELECT id FROM t"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -321,14 +322,14 @@ func BenchmarkB5_Transport(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer client.Close()
-		sess, err := client.Open("db")
+		sess, err := client.Open(context.Background(), "db")
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer sess.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.Exec("SELECT id FROM t"); err != nil {
+			if _, err := sess.Exec(context.Background(), "SELECT id FROM t"); err != nil {
 				b.Fatal(err)
 			}
 		}

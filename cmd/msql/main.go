@@ -28,6 +28,7 @@ import (
 	"msql/internal/core"
 	"msql/internal/demo"
 	"msql/internal/dol"
+	"msql/internal/translate"
 )
 
 func main() {
@@ -60,15 +61,7 @@ func main() {
 	}
 
 	run := func(src string) bool {
-		results, err := fed.ExecScript(src)
-		for _, r := range results {
-			printResult(os.Stdout, r, *showDOL)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			return false
-		}
-		return true
+		return runSource(fed, src, *showDOL, os.Stdout, os.Stderr)
 	}
 
 	switch {
@@ -87,6 +80,47 @@ func main() {
 		}
 	default:
 		repl(fed, *showDOL)
+	}
+}
+
+// runSource executes one script and reports whether it succeeded. A
+// script fails when parsing/execution errors out, or when any produced
+// result is a failed outcome: an Incorrect or Unresolved global state, an
+// Aborted state for a commit-mode synchronization (an explicit ROLLBACK
+// aborting is the requested outcome, not a failure), or a
+// multitransaction that reached no acceptable state. Script mode exits
+// nonzero on failure so msql -f works in pipelines and CI.
+func runSource(fed *core.Federation, src string, showDOL bool, out, errw io.Writer) bool {
+	results, err := fed.ExecScript(src)
+	ok := true
+	for _, r := range results {
+		printResult(out, r, showDOL)
+		if scriptFailed(r) {
+			ok = false
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(errw, "error:", err)
+		return false
+	}
+	return ok
+}
+
+// scriptFailed classifies one result as a failure for script-mode exit
+// status purposes.
+func scriptFailed(r *core.Result) bool {
+	switch r.Kind {
+	case core.KindSync:
+		if r.State == core.StateAborted && r.Mode == translate.SyncRollback {
+			return false // the script asked for the rollback
+		}
+		return r.State != core.StateSuccess
+	case core.KindGlobalDML:
+		return r.State != core.StateSuccess
+	case core.KindMultiTx:
+		return r.AchievedState == nil
+	default:
+		return false
 	}
 }
 
@@ -176,6 +210,13 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 		}
 		for _, c := range r.Compensated {
 			fmt.Fprintf(w, "  %-14s compensated\n", c)
+		}
+		for _, p := range r.Unresolved {
+			decision := "rollback"
+			if p.Commit {
+				decision = "commit"
+			}
+			fmt.Fprintf(w, "  in-doubt: %s session %d at %s — resolve to %s\n", p.Entry, p.SessionID, p.Addr, decision)
 		}
 	case core.KindMultiTx:
 		if r.AchievedState != nil {

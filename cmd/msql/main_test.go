@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"msql/internal/core"
 	"msql/internal/demo"
+	"msql/internal/ldbms"
 )
 
 func TestNeedsMore(t *testing.T) {
@@ -90,6 +92,56 @@ func TestPrintGDDAndServices(t *testing.T) {
 			t.Errorf("services output missing %q:\n%s", want, out)
 		}
 	}
+}
+
+func TestRunSourceExitStatus(t *testing.T) {
+	build := func() *core.Federation {
+		t.Helper()
+		fed, err := demo.Build(demo.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+
+	t.Run("success", func(t *testing.T) {
+		fed := build()
+		var out, errw strings.Builder
+		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, &out, &errw) {
+			t.Fatalf("script should succeed; stderr: %s", errw.String())
+		}
+	})
+
+	t.Run("parse error fails", func(t *testing.T) {
+		fed := build()
+		var out, errw strings.Builder
+		if runSource(fed, "NOT A STATEMENT", false, &out, &errw) {
+			t.Fatal("malformed script should fail")
+		}
+		if !strings.Contains(errw.String(), "error:") {
+			t.Fatalf("stderr = %s", errw.String())
+		}
+	})
+
+	t.Run("aborted vital commit fails", func(t *testing.T) {
+		fed := build()
+		fed.Server("svc_avis").Faults().Add(ldbms.FaultRule{Op: ldbms.FaultPrepare})
+		var out, errw strings.Builder
+		if runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, &out, &errw) {
+			t.Fatalf("aborted vital unit should fail script; output:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "global state: aborted") {
+			t.Fatalf("output = %s", out.String())
+		}
+	})
+
+	t.Run("explicit rollback is not a failure", func(t *testing.T) {
+		fed := build()
+		var out, errw strings.Builder
+		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nROLLBACK", false, &out, &errw) {
+			t.Fatalf("requested rollback should not fail the script; output:\n%s%s", out.String(), errw.String())
+		}
+	})
 }
 
 func TestMultiFlag(t *testing.T) {

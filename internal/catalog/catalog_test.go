@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -228,7 +229,7 @@ func TestImportDatabaseAll(t *testing.T) {
 	srv := newAvisService(t)
 	ad, gdd := NewAD(), NewGDD()
 	ad.Incorporate(ServiceEntry{Name: "avis-svc", Connect: true})
-	if err := ImportDatabase(gdd, ad, lam.NewLocal(srv), "avis", "avis-svc", ImportSpec{}); err != nil {
+	if err := ImportDatabase(context.Background(), gdd, ad, lam.NewLocal(srv), "avis", "avis-svc", ImportSpec{}); err != nil {
 		t.Fatal(err)
 	}
 	def, err := gdd.Table("avis", "cars")
@@ -252,7 +253,7 @@ func TestImportSingleTableAndColumns(t *testing.T) {
 	ad, gdd := NewAD(), NewGDD()
 	ad.Incorporate(ServiceEntry{Name: "avis-svc", Connect: true})
 	c := lam.NewLocal(srv)
-	if err := ImportDatabase(gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars", Columns: []string{"code", "rate"}}); err != nil {
+	if err := ImportDatabase(context.Background(), gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars", Columns: []string{"code", "rate"}}); err != nil {
 		t.Fatal(err)
 	}
 	def, err := gdd.Table("avis", "cars")
@@ -263,12 +264,12 @@ func TestImportSingleTableAndColumns(t *testing.T) {
 		t.Fatalf("partial import cols = %+v", def.Columns)
 	}
 	// Unknown column fails.
-	err = ImportDatabase(gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars", Columns: []string{"bogus"}})
+	err = ImportDatabase(context.Background(), gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars", Columns: []string{"bogus"}})
 	if err == nil {
 		t.Fatal("expected error for unknown column")
 	}
 	// Unincorporated service fails.
-	err = ImportDatabase(gdd, NewAD(), c, "avis", "avis-svc", ImportSpec{})
+	err = ImportDatabase(context.Background(), gdd, NewAD(), c, "avis", "avis-svc", ImportSpec{})
 	if !errors.Is(err, ErrNoService) {
 		t.Fatalf("err = %v", err)
 	}
@@ -279,7 +280,7 @@ func TestImportReplacesDefinitions(t *testing.T) {
 	ad, gdd := NewAD(), NewGDD()
 	ad.Incorporate(ServiceEntry{Name: "avis-svc", Connect: true})
 	c := lam.NewLocal(srv)
-	if err := ImportDatabase(gdd, ad, c, "avis", "avis-svc", ImportSpec{}); err != nil {
+	if err := ImportDatabase(context.Background(), gdd, ad, c, "avis", "avis-svc", ImportSpec{}); err != nil {
 		t.Fatal(err)
 	}
 	// Alter the local schema and re-import.
@@ -288,7 +289,7 @@ func TestImportReplacesDefinitions(t *testing.T) {
 	sess.Exec("CREATE TABLE cars (code INTEGER, newcol CHAR(5))")
 	sess.Commit()
 	sess.Close()
-	if err := ImportDatabase(gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars"}); err != nil {
+	if err := ImportDatabase(context.Background(), gdd, ad, c, "avis", "avis-svc", ImportSpec{Table: "cars"}); err != nil {
 		t.Fatal(err)
 	}
 	def, _ := gdd.Table("avis", "cars")

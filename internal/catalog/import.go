@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 
 	"msql/internal/lam"
@@ -17,15 +18,16 @@ type ImportSpec struct {
 
 // ImportDatabase implements the paper's IMPORT statement: it copies
 // schema information from a service's Local Conceptual Schema into the
-// GDD, replacing previously imported definitions.
-func ImportDatabase(gdd *GDD, ad *AD, client lam.Client, db, service string, spec ImportSpec) error {
+// GDD, replacing previously imported definitions. The context bounds the
+// remote Describe/List calls.
+func ImportDatabase(ctx context.Context, gdd *GDD, ad *AD, client lam.Client, db, service string, spec ImportSpec) error {
 	if _, err := ad.Lookup(service); err != nil {
 		return err
 	}
 	gdd.DefineDatabase(db, service)
 
 	importOne := func(name string, isView bool, only []string) error {
-		cols, err := client.Describe(db, name)
+		cols, err := client.Describe(ctx, db, name)
 		if err != nil {
 			return fmt.Errorf("catalog: import %s.%s: %w", db, name, err)
 		}
@@ -55,7 +57,7 @@ func ImportDatabase(gdd *GDD, ad *AD, client lam.Client, db, service string, spe
 	case spec.View != "":
 		return importOne(spec.View, true, spec.Columns)
 	default:
-		tables, err := client.ListTables(db)
+		tables, err := client.ListTables(ctx, db)
 		if err != nil {
 			return err
 		}
@@ -64,7 +66,7 @@ func ImportDatabase(gdd *GDD, ad *AD, client lam.Client, db, service string, spe
 				return err
 			}
 		}
-		views, err := client.ListViews(db)
+		views, err := client.ListViews(ctx, db)
 		if err != nil {
 			return err
 		}

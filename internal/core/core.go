@@ -15,10 +15,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"msql/internal/catalog"
 	"msql/internal/dol"
@@ -53,6 +55,12 @@ const (
 	// the failure mode the vital-set machinery exists to prevent; it can
 	// still surface on commit-time faults.
 	StateIncorrect
+	// StateUnresolved: some VITAL subquery is still in-doubt — its LAM
+	// stayed unreachable through the bounded recovery loop, so the global
+	// outcome is not yet known. The unit is neither Success nor Incorrect
+	// until the participants in Result.Unresolved are driven to their
+	// recorded decision (lam.Resolve).
+	StateUnresolved
 )
 
 func (s GlobalState) String() string {
@@ -63,6 +71,8 @@ func (s GlobalState) String() string {
 		return "aborted"
 	case StateIncorrect:
 		return "incorrect"
+	case StateUnresolved:
+		return "unresolved"
 	default:
 		return fmt.Sprintf("GlobalState(%d)", uint8(s))
 	}
@@ -108,6 +118,26 @@ type Result struct {
 	// TriggersFired lists interdatabase triggers executed after this
 	// result's synchronization.
 	TriggersFired []string
+	// Mode records whether a sync result synchronized in commit or
+	// rollback mode (meaningful for KindSync).
+	Mode translate.SyncMode
+	// Unresolved lists in-doubt participants the recovery loop could not
+	// reach; non-empty only with State == StateUnresolved or when a
+	// non-vital participant stayed in doubt.
+	Unresolved []Participant
+}
+
+// Participant identifies an in-doubt remote transaction branch left
+// behind by a synchronization point: the LAM to contact, the server-side
+// session id, and the decision to deliver. Resolve it with lam.Resolve
+// once the site is reachable again.
+type Participant struct {
+	Entry     string // scope entry name
+	Database  string
+	Addr      string
+	SessionID int64
+	// Commit is the recorded synchronization-point decision.
+	Commit bool
 }
 
 // Federation is the multidatabase system. A Federation represents one
@@ -129,6 +159,11 @@ type Federation struct {
 
 	// DryRun translates plans without executing them (used by doldump).
 	DryRun bool
+
+	// CallTimeout bounds each remote LAM call made through lazily dialed
+	// TCP clients (0 uses the lam package default). Set it before the
+	// first statement touches a remote site.
+	CallTimeout time.Duration
 
 	// script execution state
 	scope []semvar.ScopeEntry
@@ -174,6 +209,15 @@ func New() *Federation {
 	return f
 }
 
+// SetRecovery configures the bounded in-doubt resolution loop run after
+// synchronization points whose commit/rollback decisions could not be
+// delivered: policy paces the reconnect attempts per participant, timeout
+// bounds each attempt.
+func (f *Federation) SetRecovery(policy lam.RetryPolicy, timeout time.Duration) {
+	f.engine.Recovery = policy
+	f.engine.RecoverTimeout = timeout
+}
+
 // RegisterClient makes a LAM client reachable under a site or service
 // name.
 func (f *Federation) RegisterClient(key string, c lam.Client) {
@@ -210,7 +254,7 @@ func (f *Federation) Resolve(site string) (lam.Client, error) {
 	}
 	f.mu.Unlock()
 	if strings.Contains(site, ":") {
-		c, err := lam.Dial(site)
+		c, err := lam.DialWith(context.Background(), site, lam.DialOptions{CallTimeout: f.CallTimeout})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s (%v)", ErrNoClient, site, err)
 		}
@@ -243,6 +287,16 @@ func (f *Federation) Scope() []semvar.ScopeEntry {
 // produced outcome (statements and synchronization points). Execution
 // stops at the first error; results produced so far are returned.
 func (f *Federation) ExecScript(src string) ([]*Result, error) {
+	return f.ExecScriptContext(context.Background(), src)
+}
+
+// ExecScriptContext is ExecScript under a context: the deadline bounds
+// every remote LAM call the script makes, and cancellation fails
+// in-flight subqueries. In-doubt resolution after a lost connection runs
+// on its own bounded budget (the engine's recovery policy), not ctx —
+// commit/rollback decisions for prepared participants must be delivered
+// even when the script deadline has expired.
+func (f *Federation) ExecScriptContext(ctx context.Context, src string) ([]*Result, error) {
 	script, err := msqlparser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -256,13 +310,13 @@ func (f *Federation) ExecScript(src string) ([]*Result, error) {
 		}
 	}
 	for _, stmt := range script.Stmts {
-		rs, err := f.execStmt(stmt)
+		rs, err := f.execStmt(ctx, stmt)
 		add(rs...)
 		if err != nil {
 			return results, err
 		}
 	}
-	r, err := f.Flush()
+	r, err := f.flush(ctx)
 	add(r)
 	return results, err
 }
@@ -270,10 +324,10 @@ func (f *Federation) ExecScript(src string) ([]*Result, error) {
 // execStmt executes one statement, returning zero or more results (a
 // statement that triggers a synchronization point yields the sync result
 // first).
-func (f *Federation) execStmt(stmt msqlparser.Stmt) ([]*Result, error) {
+func (f *Federation) execStmt(ctx context.Context, stmt msqlparser.Stmt) ([]*Result, error) {
 	switch st := stmt.(type) {
 	case *msqlparser.UseStmt:
-		sync, err := f.Flush()
+		sync, err := f.flush(ctx)
 		if err != nil {
 			return resultList(sync), err
 		}
@@ -294,22 +348,22 @@ func (f *Federation) execStmt(stmt msqlparser.Stmt) ([]*Result, error) {
 		return nil, nil
 
 	case *msqlparser.QueryStmt:
-		return f.execQuery(st)
+		return f.execQuery(ctx, st)
 
 	case *msqlparser.CommitStmt:
-		r, err := f.sync(translate.SyncCommit)
+		r, err := f.sync(ctx, translate.SyncCommit)
 		return resultList(r), err
 
 	case *msqlparser.RollbackStmt:
-		r, err := f.sync(translate.SyncRollback)
+		r, err := f.sync(ctx, translate.SyncRollback)
 		return resultList(r), err
 
 	case *msqlparser.MultiTxStmt:
-		sync, err := f.Flush()
+		sync, err := f.flush(ctx)
 		if err != nil {
 			return resultList(sync), err
 		}
-		r, err := f.execMultiTx(st)
+		r, err := f.execMultiTx(ctx, st)
 		return resultList(sync, r), err
 
 	case *msqlparser.IncorporateStmt:
@@ -328,7 +382,7 @@ func (f *Federation) execStmt(stmt msqlparser.Stmt) ([]*Result, error) {
 			return nil, err
 		}
 		spec := catalog.ImportSpec{Table: st.Table, View: st.View, Columns: st.Columns}
-		if err := catalog.ImportDatabase(f.GDD, f.AD, client, st.Database, st.Service, spec); err != nil {
+		if err := catalog.ImportDatabase(ctx, f.GDD, f.AD, client, st.Database, st.Service, spec); err != nil {
 			return nil, err
 		}
 		return resultList(&Result{Kind: KindImport}), nil
@@ -439,17 +493,17 @@ func resultList(rs ...*Result) []*Result {
 }
 
 // execQuery routes one manipulation statement.
-func (f *Federation) execQuery(q *msqlparser.QueryStmt) ([]*Result, error) {
+func (f *Federation) execQuery(ctx context.Context, q *msqlparser.QueryStmt) ([]*Result, error) {
 	switch q.Body.(type) {
 	case *sqlparser.CreateDatabaseStmt, *sqlparser.DropDatabaseStmt:
 		return nil, fmt.Errorf("%w: CREATE/DROP DATABASE — create the database on its service and IMPORT it", ErrUnsupported)
 	}
 	if sel, ok := q.Body.(*sqlparser.SelectStmt); ok {
 		if view := f.matchMultiview(sel); view != nil {
-			r, err := f.execStoredSelect(view)
+			r, err := f.execStoredSelect(ctx, view)
 			return resultList(r), err
 		}
-		r, err := f.execSelect(q)
+		r, err := f.execSelect(ctx, q)
 		return resultList(r), err
 	}
 	if len(f.scope) == 0 {
@@ -457,11 +511,11 @@ func (f *Federation) execQuery(q *msqlparser.QueryStmt) ([]*Result, error) {
 	}
 	if semvar.IsGlobalQuery(q.Body, f.scope) {
 		// Cross-database DML forms its own unit.
-		sync, err := f.Flush()
+		sync, err := f.flush(ctx)
 		if err != nil {
 			return resultList(sync), err
 		}
-		r, err := f.execGlobalDML(q)
+		r, err := f.execGlobalDML(ctx, q)
 		return resultList(sync, r), err
 	}
 	f.unit = append(f.unit, translate.UnitQuery{
@@ -474,14 +528,18 @@ func (f *Federation) execQuery(q *msqlparser.QueryStmt) ([]*Result, error) {
 // Flush synchronizes the pending unit in commit mode. It returns nil when
 // nothing is pending.
 func (f *Federation) Flush() (*Result, error) {
+	return f.flush(context.Background())
+}
+
+func (f *Federation) flush(ctx context.Context) (*Result, error) {
 	if len(f.unit) == 0 {
 		return nil, nil
 	}
-	return f.sync(translate.SyncCommit)
+	return f.sync(ctx, translate.SyncCommit)
 }
 
 // sync translates and runs the pending unit.
-func (f *Federation) sync(mode translate.SyncMode) (*Result, error) {
+func (f *Federation) sync(ctx context.Context, mode translate.SyncMode) (*Result, error) {
 	unit := f.unit
 	f.unit = nil
 	if len(unit) == 0 {
@@ -491,12 +549,12 @@ func (f *Federation) sync(mode translate.SyncMode) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindSync, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	res := &Result{Kind: KindSync, DOL: dol.Print(prog), Skipped: meta.Skipped, Mode: mode}
 	if f.DryRun {
 		f.dropProvisional(meta, nil)
 		return res, nil
 	}
-	out, err := f.engine.Run(prog)
+	out, err := f.engine.Run(ctx, prog)
 	if err != nil {
 		f.dropProvisional(meta, out)
 		return res, err
@@ -504,7 +562,7 @@ func (f *Federation) sync(mode translate.SyncMode) (*Result, error) {
 	f.dropProvisional(meta, out)
 	f.fillFromOutcome(res, meta, out)
 	f.maintainGDD(meta, out)
-	if err := f.fireTriggers(res, meta, out); err != nil {
+	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -525,7 +583,7 @@ func (f *Federation) dropProvisional(meta *translate.Meta, out *dolengine.Outcom
 // fireTriggers runs interdatabase triggers matching committed
 // manipulation subqueries of a synchronized unit. Triggers do not fire
 // recursively.
-func (f *Federation) fireTriggers(res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
+func (f *Federation) fireTriggers(ctx context.Context, res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
 	if f.inTrigger || len(f.triggers) == 0 {
 		return nil
 	}
@@ -569,7 +627,7 @@ func (f *Federation) fireTriggers(res *Result, meta *translate.Meta, out *doleng
 				if err != nil {
 					return nil, nil, err
 				}
-				_, err = f.engine.Run(prog)
+				_, err = f.engine.Run(ctx, prog)
 				return prog, tmeta, err
 			}()
 			f.inTrigger = false
@@ -585,6 +643,19 @@ func (f *Federation) fireTriggers(res *Result, meta *translate.Meta, out *doleng
 // fillFromOutcome copies task states and classifies the vital outcome.
 func (f *Federation) fillFromOutcome(res *Result, meta *translate.Meta, out *dolengine.Outcome) {
 	res.Status = out.Status
+	// Map unresolved in-doubt participants from task names to scope
+	// entries so callers can identify and later resolve them.
+	entryOf := make(map[string]translate.TaskMeta, len(meta.Tasks))
+	for _, tm := range meta.Tasks {
+		entryOf[tm.Name] = tm
+	}
+	for _, u := range out.Unresolved {
+		p := Participant{Addr: u.Addr, SessionID: u.SessionID, Commit: u.Commit, Database: u.Database}
+		if tm, ok := entryOf[u.Task]; ok {
+			p.Entry = tm.Entry.Name
+		}
+		res.Unresolved = append(res.Unresolved, p)
+	}
 	res.TaskStates = make(map[string]dol.TaskStatus)
 	res.RowsAffected = make(map[string]int)
 	compDone := map[string]bool{}
@@ -607,10 +678,12 @@ func (f *Federation) fillFromOutcome(res *Result, meta *translate.Meta, out *dol
 		res.State = StateSuccess
 		return
 	}
-	committed, undone := 0, 0
+	committed, undone, indoubt := 0, 0, 0
 	for _, name := range meta.VitalNames {
 		st := res.TaskStates[name]
 		switch {
+		case st == dol.StatusInDoubt:
+			indoubt++
 		case st == dol.StatusCommitted && !compDone[name]:
 			committed++
 		default:
@@ -618,6 +691,10 @@ func (f *Federation) fillFromOutcome(res *Result, meta *translate.Meta, out *dol
 		}
 	}
 	switch {
+	case indoubt > 0:
+		// A vital participant's fate is unknown: refuse to call the unit
+		// either Success or Incorrect until it is resolved.
+		res.State = StateUnresolved
 	case undone == 0:
 		res.State = StateSuccess
 	case committed == 0:
@@ -665,7 +742,7 @@ func (f *Federation) matchMultiview(sel *sqlparser.SelectStmt) *storedView {
 }
 
 // execStoredSelect executes a multiview's captured multiple query.
-func (f *Federation) execStoredSelect(view *storedView) (*Result, error) {
+func (f *Federation) execStoredSelect(ctx context.Context, view *storedView) (*Result, error) {
 	prog, meta, err := f.tctx.TranslateQuery(view.scope, view.lets, &msqlparser.QueryStmt{Body: view.body})
 	if err != nil {
 		return nil, err
@@ -674,7 +751,7 @@ func (f *Federation) execStoredSelect(view *storedView) (*Result, error) {
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(prog)
+	out, err := f.engine.Run(ctx, prog)
 	if err != nil {
 		return res, err
 	}
@@ -684,7 +761,7 @@ func (f *Federation) execStoredSelect(view *storedView) (*Result, error) {
 
 // execSelect runs a retrieval query immediately and assembles the
 // multitable.
-func (f *Federation) execSelect(q *msqlparser.QueryStmt) (*Result, error) {
+func (f *Federation) execSelect(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
 	if len(f.scope) == 0 {
 		return nil, translate.ErrNoScope
 	}
@@ -696,7 +773,7 @@ func (f *Federation) execSelect(q *msqlparser.QueryStmt) (*Result, error) {
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(prog)
+	out, err := f.engine.Run(ctx, prog)
 	if err != nil {
 		return res, err
 	}
@@ -739,7 +816,7 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 
 // execGlobalDML runs a cross-database manipulation statement as its own
 // unit.
-func (f *Federation) execGlobalDML(q *msqlparser.QueryStmt) (*Result, error) {
+func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
 	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
 	if err != nil {
 		return nil, err
@@ -748,20 +825,20 @@ func (f *Federation) execGlobalDML(q *msqlparser.QueryStmt) (*Result, error) {
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(prog)
+	out, err := f.engine.Run(ctx, prog)
 	if err != nil {
 		return res, err
 	}
 	f.fillFromOutcome(res, meta, out)
 	f.maintainGDD(meta, out)
-	if err := f.fireTriggers(res, meta, out); err != nil {
+	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
 // execMultiTx runs a multitransaction.
-func (f *Federation) execMultiTx(m *msqlparser.MultiTxStmt) (*Result, error) {
+func (f *Federation) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt) (*Result, error) {
 	prog, meta, err := f.tctx.TranslateMultiTx(m)
 	if err != nil {
 		return nil, err
@@ -770,7 +847,7 @@ func (f *Federation) execMultiTx(m *msqlparser.MultiTxStmt) (*Result, error) {
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(prog)
+	out, err := f.engine.Run(ctx, prog)
 	if err != nil {
 		return res, err
 	}

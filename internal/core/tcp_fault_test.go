@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/netfault"
+)
+
+// severClient wraps a real TCP LAM client so a test can deterministically
+// kill the network in the paper's worst window: after PREPARE succeeds and
+// before the coordinator's COMMIT arrives. When armed, the wrapped
+// session's Prepare severs the proxy right after it returns success —
+// client-side, so there is no timing race with the server's reply.
+type severClient struct {
+	lam.Client
+	proxy  *netfault.Proxy
+	armed  atomic.Bool
+	refuse atomic.Bool // also refuse reconnects after the sever (permanent outage)
+}
+
+func (c *severClient) Open(ctx context.Context, db string) (lam.Session, error) {
+	s, err := c.Client.Open(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return &severSession{Session: s, c: c}, nil
+}
+
+type severSession struct {
+	lam.Session
+	c *severClient
+}
+
+func (s *severSession) Prepare(ctx context.Context) error {
+	err := s.Session.Prepare(ctx)
+	if err == nil && s.c.armed.Load() {
+		s.c.proxy.Sever()
+		if s.c.refuse.Load() {
+			s.c.proxy.SetRefuse(true)
+		}
+	}
+	return err
+}
+
+// RecoveryInfo delegates so the engine's in-doubt recovery still sees the
+// real transport session behind the wrapper.
+func (s *severSession) RecoveryInfo() (string, int64) {
+	return s.Session.(lam.Recoverable).RecoveryInfo()
+}
+
+// faultFederation builds a two-site federation where united sits behind a
+// netfault proxy with a severing wrapper client. Recovery is tightened so
+// the permanent-outage path stays fast.
+func faultFederation(t *testing.T) (*Federation, map[string]*ldbms.Server, *severClient, *netfault.Proxy) {
+	t.Helper()
+	servers := map[string]*ldbms.Server{}
+	fed := New()
+	fed.SetRecovery(lam.RetryPolicy{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond}, time.Second)
+
+	specs := []struct {
+		svc, db string
+		ddl     []string
+	}{
+		{"svc_cont", "continental", []string{
+			"CREATE TABLE flights (flnu INTEGER, source CHAR(20), destination CHAR(20), rate FLOAT)",
+			"INSERT INTO flights VALUES (100, 'Houston', 'San Antonio', 100.0)",
+		}},
+		{"svc_unit", "united", []string{
+			"CREATE TABLE flight (fn INTEGER, sour CHAR(20), dest CHAR(20), rates FLOAT)",
+			"INSERT INTO flight VALUES (300, 'Houston', 'San Antonio', 120.0)",
+		}},
+	}
+	var sites []string
+	var proxy *netfault.Proxy
+	var sc *severClient
+	for _, sp := range specs {
+		srv := ldbms.NewServer(sp.svc, ldbms.ProfileOracleLike(), 1)
+		if err := srv.CreateDatabase(sp.db); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := srv.OpenSession(sp.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range sp.ddl {
+			if _, err := sess.Exec(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sess.Commit()
+		sess.Close()
+		ts, err := lam.Serve("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ts.Close() })
+		servers[sp.db] = srv
+
+		site := ts.Addr()
+		if sp.db == "united" {
+			proxy, err = netfault.New(ts.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { proxy.Close() })
+			site = proxy.Addr()
+			inner, err := lam.DialWith(context.Background(), site, lam.DialOptions{
+				CallTimeout: 2 * time.Second,
+				Retry:       lam.RetryPolicy{Attempts: 1, BaseDelay: 5 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc = &severClient{Client: inner, proxy: proxy}
+			fed.RegisterClient(site, sc)
+		}
+		sites = append(sites, site)
+	}
+	setup := fmt.Sprintf(`
+INCORPORATE SERVICE svc_cont SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_unit SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE continental FROM SERVICE svc_cont;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+`, sites[0], sites[1])
+	if _, err := fed.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	return fed, servers, sc, proxy
+}
+
+const vitalUpdate = `
+USE continental VITAL united VITAL
+UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+`
+
+func unitedRate(t *testing.T, srv *ldbms.Server) float64 {
+	t.Helper()
+	sess, err := srv.OpenSession("united")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Exec("SELECT rates FROM flight WHERE fn = 300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := res.Rows[0][0].AsFloat()
+	return f
+}
+
+func TestSeverAfterPrepareRecoversToSuccess(t *testing.T) {
+	fed, servers, sc, _ := faultFederation(t)
+	sc.armed.Store(true)
+
+	// The connection to united dies between its PREPARE and the COMMIT
+	// decision. The coordinator must reconnect, re-bind the parked
+	// prepared session, and drive it to commit — converging on Success,
+	// never silently Incorrect.
+	results, err := fed.ExecScript(vitalUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := results[len(results)-1]
+	if sync.State != StateSuccess {
+		t.Fatalf("state = %s, want success after in-doubt recovery (tasks %v, unresolved %+v)",
+			sync.State, sync.TaskStates, sync.Unresolved)
+	}
+	if len(sync.Unresolved) != 0 {
+		t.Fatalf("unresolved = %+v", sync.Unresolved)
+	}
+	// Both databases really committed the 10% raise.
+	if f := unitedRate(t, servers["united"]); f < 131.9 || f > 132.1 {
+		t.Fatalf("united rate = %v, want 132 (committed via recovery)", f)
+	}
+	sess, _ := servers["continental"].OpenSession("continental")
+	defer sess.Close()
+	res, _ := sess.Exec("SELECT rate FROM flights WHERE flnu = 100")
+	if f, _ := res.Rows[0][0].AsFloat(); f < 109.9 || f > 110.1 {
+		t.Fatalf("continental rate = %v, want 110", f)
+	}
+}
+
+func TestPermanentOutageReportsUnresolvedParticipant(t *testing.T) {
+	fed, servers, sc, proxy := faultFederation(t)
+	sc.armed.Store(true)
+	sc.refuse.Store(true) // the sever will be permanent: no reconnects
+
+	results, err := fed.ExecScript(vitalUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := results[len(results)-1]
+	// With a vital participant stuck in doubt the outcome is neither
+	// Success nor Incorrect — it must be reported as Unresolved, with
+	// enough information to resolve it later.
+	if sync.State != StateUnresolved {
+		t.Fatalf("state = %s, want unresolved (tasks %v)", sync.State, sync.TaskStates)
+	}
+	if len(sync.Unresolved) != 1 {
+		t.Fatalf("unresolved = %+v, want exactly the united participant", sync.Unresolved)
+	}
+	p := sync.Unresolved[0]
+	if p.Entry != "united" || p.Addr != proxy.Addr() || p.SessionID == 0 || !p.Commit {
+		t.Fatalf("participant = %+v", p)
+	}
+
+	// The site comes back: the operator (or a later pass) delivers the
+	// recorded decision with lam.Resolve and the update lands.
+	proxy.SetRefuse(false)
+	st, err := lam.Resolve(context.Background(), p.Addr, p.SessionID, p.Commit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("resolved state = %v", st)
+	}
+	if f := unitedRate(t, servers["united"]); f < 131.9 || f > 132.1 {
+		t.Fatalf("united rate after manual resolve = %v, want 132", f)
+	}
+}
+
+func TestFederationCallTimeoutBoundsBlackholedSite(t *testing.T) {
+	servers := map[string]*ldbms.Server{}
+	fed := New()
+	const timeout = 200 * time.Millisecond
+	fed.CallTimeout = timeout
+
+	srv := ldbms.NewServer("svc_unit", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("united"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.OpenSession("united")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("CREATE TABLE flight (fn INTEGER, rates FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	sess.Commit()
+	sess.Close()
+	servers["united"] = srv
+	ts, err := lam.Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	proxy, err := netfault.New(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	setup := fmt.Sprintf(`
+INCORPORATE SERVICE svc_unit SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+`, proxy.Addr())
+	if _, err := fed.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.SetBlackhole(true)
+	start := time.Now()
+	_, err = fed.ExecScript("USE united\nSELECT fn FROM flight")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("query against a black-holed site should fail")
+	}
+	// Every LAM call is bounded by CallTimeout; with the default 2-retry
+	// control policy the whole query fails well inside a few timeouts
+	// instead of hanging until TCP gives up.
+	if elapsed > 10*timeout {
+		t.Fatalf("elapsed = %v with CallTimeout %v — deadline not honored", elapsed, timeout)
+	}
+}
+
+func TestExecScriptContextCancellation(t *testing.T) {
+	fed, _, _, proxy := faultFederation(t)
+	proxy.SetDelay(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 75*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fed.ExecScriptContext(ctx, "USE united\nSELECT fn FROM flight")
+	if err == nil {
+		t.Fatal("script should fail at the context deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("elapsed = %v, cancellation not honored", elapsed)
+	}
+}

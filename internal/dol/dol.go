@@ -51,6 +51,11 @@ const (
 	StatusCommitted
 	StatusAborted
 	StatusError
+	// StatusInDoubt marks a participant whose prepared transaction lost
+	// its coordinator connection before the decision arrived (§3.2.2's
+	// commit-heterogeneity window): the outcome at the server is unknown
+	// until the recovery protocol resolves it.
+	StatusInDoubt
 )
 
 // Letter returns the single-letter spelling used in DOL sources.
@@ -68,6 +73,8 @@ func (s TaskStatus) Letter() string {
 		return "A"
 	case StatusError:
 		return "E"
+	case StatusInDoubt:
+		return "D"
 	default:
 		return "?"
 	}
@@ -87,6 +94,8 @@ func (s TaskStatus) String() string {
 		return "aborted"
 	case StatusError:
 		return "error"
+	case StatusInDoubt:
+		return "in-doubt"
 	default:
 		return fmt.Sprintf("TaskStatus(%d)", uint8(s))
 	}
@@ -107,6 +116,8 @@ func StatusFromLetter(s string) (TaskStatus, error) {
 		return StatusAborted, nil
 	case "E":
 		return StatusError, nil
+	case "D":
+		return StatusInDoubt, nil
 	default:
 		return 0, fmt.Errorf("dol: unknown task status %q", s)
 	}

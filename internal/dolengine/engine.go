@@ -8,16 +8,20 @@
 package dolengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"msql/internal/dol"
 	"msql/internal/lam"
+	"msql/internal/ldbms"
 	"msql/internal/sqlengine"
 	"msql/internal/sqlparser"
 	"msql/internal/sqlval"
+	"msql/internal/wire"
 )
 
 // Engine errors.
@@ -56,12 +60,30 @@ type TaskInfo struct {
 	Conn         string
 }
 
+// InDoubt identifies a participant whose prepared transaction could not
+// be driven to its synchronization-point decision within the bounded
+// recovery loop: the LAM stayed unreachable. Operators (or a later
+// recovery pass) resolve it with lam.Resolve.
+type InDoubt struct {
+	Task      string
+	Conn      string
+	Database  string
+	Addr      string
+	SessionID int64
+	// Commit is the recorded decision: true drives the participant to
+	// commit, false to rollback.
+	Commit bool
+}
+
 // Outcome is the result of running a program.
 type Outcome struct {
 	// Status is the DOLSTATUS return code (-1 when never set).
 	Status int
 	// Tasks maps task names to their final execution records.
 	Tasks map[string]*TaskInfo
+	// Unresolved lists in-doubt participants recovery could not reach;
+	// their tasks keep dol.StatusInDoubt.
+	Unresolved []InDoubt
 }
 
 // TaskStatus returns a task's final status, StatusNotRun for unknown
@@ -76,10 +98,26 @@ func (o *Outcome) TaskStatus(name string) dol.TaskStatus {
 // Engine executes DOL programs.
 type Engine struct {
 	dir Directory
+
+	// Recovery paces the bounded in-doubt resolution loop run after a
+	// plan whose commit/rollback decisions could not be delivered.
+	Recovery lam.RetryPolicy
+	// RecoverTimeout bounds each individual resolution attempt.
+	RecoverTimeout time.Duration
+
+	// resolve is lam.Resolve, injectable for tests.
+	resolve func(ctx context.Context, addr string, sessionID int64, commit bool) (ldbms.SessionState, error)
 }
 
 // New returns an engine over a service directory.
-func New(dir Directory) *Engine { return &Engine{dir: dir} }
+func New(dir Directory) *Engine {
+	return &Engine{
+		dir:            dir,
+		Recovery:       lam.RetryPolicy{Attempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+		RecoverTimeout: 2 * time.Second,
+		resolve:        lam.Resolve,
+	}
+}
 
 // conn is one open connection (session) with serialized task access.
 type conn struct {
@@ -97,6 +135,26 @@ type taskRT struct {
 	deps []*taskRT
 	mu   sync.Mutex
 	done chan struct{}
+
+	// in-doubt bookkeeping (guarded by mu): where to reconnect and the
+	// synchronization-point decision to deliver on recovery.
+	recoverAddr   string
+	recoverID     int64
+	recoverCommit bool
+	recoverable   bool
+}
+
+// markInDoubt records a participant whose prepared transaction lost its
+// connection before the decision (commit/rollback) was acknowledged.
+func (t *taskRT) markInDoubt(rec lam.Recoverable, commit bool, err error) {
+	addr, id := rec.RecoveryInfo()
+	t.mu.Lock()
+	t.info.Status = dol.StatusInDoubt
+	if err != nil && t.info.Err == nil {
+		t.info.Err = err
+	}
+	t.recoverAddr, t.recoverID, t.recoverCommit, t.recoverable = addr, id, commit, true
+	t.mu.Unlock()
 }
 
 func (t *taskRT) status() dol.TaskStatus {
@@ -117,24 +175,32 @@ func (t *taskRT) setStatus(s dol.TaskStatus, err error) {
 // run carries the state of one program execution.
 type run struct {
 	eng   *Engine
+	ctx   context.Context
 	conns map[string]*conn
 	tasks map[string]*taskRT
 	out   *Outcome
 	wg    sync.WaitGroup
 }
 
-// Run executes a program to completion and returns its outcome. The
-// returned error covers engine-level failures (unknown sites, protocol
-// errors); task-level SQL failures are reported per task in the Outcome.
-func (e *Engine) Run(prog *dol.Program) (*Outcome, error) {
+// Run executes a program to completion under ctx and returns its outcome.
+// The context deadline bounds every remote LAM call; cancellation fails
+// in-flight subqueries. The returned error covers engine-level failures
+// (unknown sites, protocol errors); task-level SQL failures are reported
+// per task in the Outcome. Before returning, participants left in-doubt
+// by lost connections are driven to their recorded decision by a bounded
+// recovery loop; the ones that stay unreachable are listed in
+// Outcome.Unresolved.
+func (e *Engine) Run(ctx context.Context, prog *dol.Program) (*Outcome, error) {
 	r := &run{
 		eng:   e,
+		ctx:   ctx,
 		conns: make(map[string]*conn),
 		tasks: make(map[string]*taskRT),
 		out:   &Outcome{Status: -1, Tasks: make(map[string]*TaskInfo)},
 	}
 	err := r.execStmts(prog.Stmts)
 	r.wg.Wait()
+	r.recoverInDoubt()
 	// Close any connection the program forgot, rolling back leftovers.
 	for _, c := range r.conns {
 		c.mu.Lock()
@@ -148,6 +214,57 @@ func (e *Engine) Run(prog *dol.Program) (*Outcome, error) {
 		return r.out, err
 	}
 	return r.out, nil
+}
+
+// recoverInDoubt is the coordinator's bounded recovery loop: each
+// in-doubt participant is re-contacted (reconnect + wire.ReqAttach) and
+// driven to its recorded decision. Recovery runs on a fresh context — the
+// plan's deadline may already have expired, and delivering decisions for
+// prepared transactions must still be attempted — bounded instead by the
+// engine's Recovery policy and RecoverTimeout.
+func (r *run) recoverInDoubt() {
+	for name, rt := range r.tasks {
+		rt.mu.Lock()
+		pending := rt.info.Status == dol.StatusInDoubt && rt.recoverable
+		addr, id, commit := rt.recoverAddr, rt.recoverID, rt.recoverCommit
+		db, connName := rt.info.Database, rt.info.Conn
+		rt.mu.Unlock()
+		if !pending {
+			continue
+		}
+		resolved := false
+		for attempt := 0; attempt <= r.eng.Recovery.Attempts; attempt++ {
+			if attempt > 0 {
+				time.Sleep(r.eng.Recovery.Backoff(attempt))
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.eng.RecoverTimeout)
+			st, err := r.eng.resolve(ctx, addr, id, commit)
+			cancel()
+			if err != nil {
+				continue
+			}
+			if st == ldbms.StateCommitted {
+				rt.setStatus(dol.StatusCommitted, nil)
+			} else {
+				rt.setStatus(dol.StatusAborted, nil)
+			}
+			resolved = true
+			break
+		}
+		if !resolved {
+			r.out.Unresolved = append(r.out.Unresolved, InDoubt{
+				Task: name, Conn: connName, Database: db,
+				Addr: addr, SessionID: id, Commit: commit,
+			})
+		}
+	}
+}
+
+// recoveryOf extracts the in-doubt recovery handle of a session, looking
+// through wrappers that expose it by delegation.
+func recoveryOf(s lam.Session) (lam.Recoverable, bool) {
+	rec, ok := s.(lam.Recoverable)
+	return rec, ok
 }
 
 func (r *run) execStmts(stmts []dol.Stmt) error {
@@ -166,7 +283,7 @@ func (r *run) execStmt(s dol.Stmt) error {
 		if err != nil {
 			return err
 		}
-		sess, err := client.Open(st.Database)
+		sess, err := client.Open(r.ctx, st.Database)
 		if err != nil {
 			return fmt.Errorf("dolengine: open %s at %s: %w", st.Database, st.Site, err)
 		}
@@ -289,7 +406,7 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		return
 	}
 	for _, stmt := range rt.stmt.Body {
-		res, err := c.session.Exec(sqlparser.Deparse(stmt))
+		res, err := c.session.Exec(r.ctx, sqlparser.Deparse(stmt))
 		if err != nil {
 			rt.setStatus(dol.StatusAborted, err)
 			return
@@ -305,14 +422,22 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		rt.mu.Unlock()
 	}
 	if rt.stmt.NoCommit {
-		if err := c.session.Prepare(); err != nil {
+		if err := c.session.Prepare(r.ctx); err != nil {
+			// A transport failure leaves the vote unknown: the LAM may have
+			// prepared and parked the session. Record an in-doubt rollback —
+			// the plan's IF sees the task as not-prepared and aborts the
+			// unit, so rollback is the synchronization-point decision.
+			if rec, ok := recoveryOf(c.session); ok && wire.Transient(err) {
+				rt.markInDoubt(rec, false, err)
+				return
+			}
 			rt.setStatus(dol.StatusAborted, err)
 			return
 		}
 		rt.setStatus(dol.StatusPrepared, nil)
 		return
 	}
-	if err := c.session.Commit(); err != nil {
+	if err := c.session.Commit(r.ctx); err != nil {
 		rt.setStatus(dol.StatusAborted, err)
 		return
 	}
@@ -346,7 +471,14 @@ func (r *run) commitTask(name string) error {
 		t.setStatus(dol.StatusError, fmt.Errorf("dolengine: connection %s closed before commit", t.stmt.Conn))
 		return nil
 	}
-	if err := c.session.Commit(); err != nil {
+	if err := c.session.Commit(r.ctx); err != nil {
+		// The decision was COMMIT. If the transport failed the outcome is
+		// unknown — never report Aborted (that would make the global state
+		// silently Incorrect); record in-doubt for the recovery loop.
+		if rec, ok := recoveryOf(c.session); ok && wire.Transient(err) {
+			t.markInDoubt(rec, true, err)
+			return nil
+		}
 		t.setStatus(dol.StatusAborted, err)
 		return nil
 	}
@@ -372,7 +504,11 @@ func (r *run) abortTask(name string) error {
 	if c.session == nil {
 		return nil
 	}
-	if err := c.session.Rollback(); err != nil {
+	if err := c.session.Rollback(r.ctx); err != nil {
+		if rec, ok := recoveryOf(c.session); ok && wire.Transient(err) {
+			t.markInDoubt(rec, false, err)
+			return nil
+		}
 		t.setStatus(dol.StatusError, err)
 		return nil
 	}
@@ -418,7 +554,7 @@ func (r *run) execShip(st *dol.ShipStmt) error {
 		create.WriteString(typeNameOf(col))
 	}
 	create.WriteString(")")
-	if _, err := c.session.Exec(create.String()); err != nil {
+	if _, err := c.session.Exec(r.ctx, create.String()); err != nil {
 		return fmt.Errorf("dolengine: ship create: %w", err)
 	}
 	if result == nil || len(result.Rows) == 0 {
@@ -447,7 +583,7 @@ func (r *run) execShip(st *dol.ShipStmt) error {
 			}
 			ins.WriteString(")")
 		}
-		if _, err := c.session.Exec(ins.String()); err != nil {
+		if _, err := c.session.Exec(r.ctx, ins.String()); err != nil {
 			return fmt.Errorf("dolengine: ship insert: %w", err)
 		}
 	}

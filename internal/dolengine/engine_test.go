@@ -1,6 +1,7 @@
 package dolengine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -102,7 +103,7 @@ func runProgram(t *testing.T, dir Directory, src string) *Outcome {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New(dir).Run(prog)
+	out, err := New(dir).Run(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ DOLEND
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = New(dir).Run(prog)
+	_, err = New(dir).Run(context.Background(), prog)
 	if !errors.Is(err, ErrShipFailed) {
 		t.Fatalf("err = %v", err)
 	}
@@ -341,7 +342,7 @@ func TestEngineErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", src, err)
 		}
-		if _, err := New(dir).Run(prog); err == nil {
+		if _, err := New(dir).Run(context.Background(), prog); err == nil {
 			t.Errorf("Run(%q) succeeded, want error", src)
 		}
 	}
@@ -409,7 +410,7 @@ DOLEND`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New(dir).Run(prog)
+	out, err := New(dir).Run(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -240,7 +241,7 @@ func B1Parallelism(dbCounts []int, rows, iters int, siteLatency time.Duration) (
 		}
 		sequentialize(seqProg)
 		seq, err := timeIt(iters, func() error {
-			_, err := engine.Run(seqProg)
+			_, err := engine.Run(context.Background(), seqProg)
 			return err
 		})
 		if err != nil {
@@ -251,7 +252,7 @@ func B1Parallelism(dbCounts []int, rows, iters int, siteLatency time.Duration) (
 			return nil, err
 		}
 		par, err := timeIt(iters, func() error {
-			_, err := engine.Run(parProg)
+			_, err := engine.Run(context.Background(), parProg)
 			return err
 		})
 		if err != nil {
@@ -302,7 +303,7 @@ func B2CommitModes(iters int) (*Table, error) {
 			ts.Close()
 			return nil, nil, err
 		}
-		sess, err := client.Open("db")
+		sess, err := client.Open(context.Background(), "db")
 		if err != nil {
 			client.Close()
 			ts.Close()
@@ -322,7 +323,7 @@ func B2CommitModes(iters int) (*Table, error) {
 	}
 	defer cleanupAuto()
 	autoTime, err := timeIt(iters, func() error {
-		_, err := auto.Exec("UPDATE t SET val = val + 1 WHERE id = 1")
+		_, err := auto.Exec(context.Background(), "UPDATE t SET val = val + 1 WHERE id = 1")
 		return err
 	})
 	if err != nil {
@@ -336,13 +337,13 @@ func B2CommitModes(iters int) (*Table, error) {
 	}
 	defer cleanupTwo()
 	twoTime, err := timeIt(iters, func() error {
-		if _, err := twopc.Exec("UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
+		if _, err := twopc.Exec(context.Background(), "UPDATE t SET val = val + 1 WHERE id = 1"); err != nil {
 			return err
 		}
-		if err := twopc.Prepare(); err != nil {
+		if err := twopc.Prepare(context.Background()); err != nil {
 			return err
 		}
-		return twopc.Commit()
+		return twopc.Commit(context.Background())
 	})
 	if err != nil {
 		return nil, err
@@ -540,13 +541,13 @@ func B5Transport(iters int) (*Table, error) {
 	}
 
 	local := lam.NewLocal(srv)
-	lsess, err := local.Open("db")
+	lsess, err := local.Open(context.Background(), "db")
 	if err != nil {
 		return nil, err
 	}
 	defer lsess.Close()
 	localTime, err := timeIt(iters, func() error {
-		_, err := lsess.Exec("SELECT id, val FROM t")
+		_, err := lsess.Exec(context.Background(), "SELECT id, val FROM t")
 		return err
 	})
 	if err != nil {
@@ -564,13 +565,13 @@ func B5Transport(iters int) (*Table, error) {
 		return nil, err
 	}
 	defer remote.Close()
-	rsess, err := remote.Open("db")
+	rsess, err := remote.Open(context.Background(), "db")
 	if err != nil {
 		return nil, err
 	}
 	defer rsess.Close()
 	tcpTime, err := timeIt(iters, func() error {
-		_, err := rsess.Exec("SELECT id, val FROM t")
+		_, err := rsess.Exec(context.Background(), "SELECT id, val FROM t")
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,430 @@
+package lam
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"msql/internal/ldbms"
+	"msql/internal/netfault"
+	"msql/internal/wire"
+)
+
+// deltaProxy serves deltaServer behind a netfault proxy.
+func deltaProxy(t *testing.T) (*TCPServer, *netfault.Proxy) {
+	t.Helper()
+	srv := deltaServer(t)
+	ts, err := Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	p, err := netfault.New(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return ts, p
+}
+
+func TestCallTimeoutOnBlackholedConnection(t *testing.T) {
+	_, p := deltaProxy(t)
+	const timeout = 150 * time.Millisecond
+	c, err := DialWith(bg, p.Addr(), DialOptions{
+		CallTimeout: timeout,
+		Retry:       RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	p.SetBlackhole(true)
+	start := time.Now()
+	_, err = sess.Exec(bg, "SELECT fnu FROM flight")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("exec through a black hole should fail")
+	}
+	if !wire.Transient(err) {
+		t.Fatalf("timeout error should be transient: %v", err)
+	}
+	if elapsed < timeout/2 || elapsed > 10*timeout {
+		t.Fatalf("elapsed = %v, want ~%v (the configured call timeout)", elapsed, timeout)
+	}
+
+	// The torn stream poisons the connection: later calls fail fast with
+	// ErrConnBroken rather than hanging.
+	p.SetBlackhole(false)
+	if _, err := sess.Exec(bg, "SELECT 1"); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("call on poisoned connection = %v, want ErrConnBroken", err)
+	}
+}
+
+func TestContextDeadlineBoundsCall(t *testing.T) {
+	_, p := deltaProxy(t)
+	// No CallTimeout: only the context bounds the call.
+	c, err := DialWith(bg, p.Addr(), DialOptions{Retry: RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	p.SetBlackhole(true)
+	ctx, cancel := context.WithTimeout(bg, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Exec(ctx, "SELECT fnu FROM flight")
+	if err == nil {
+		t.Fatal("exec should fail at the context deadline")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("elapsed = %v, call did not respect the context deadline", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+}
+
+func TestOpErrorIdentifiesPeerAndOperation(t *testing.T) {
+	_, p := deltaProxy(t)
+	c, err := DialWith(bg, p.Addr(), DialOptions{Retry: RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	p.Sever()
+	_, err = sess.Exec(bg, "SELECT fnu FROM flight")
+	if err == nil {
+		t.Fatal("exec on severed connection should fail")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %T %v, want *OpError", err, err)
+	}
+	if oe.Op != wire.ReqExec || oe.Addr != p.Addr() || oe.Session == 0 {
+		t.Fatalf("OpError = %+v, want exec op, proxy addr, nonzero session", oe)
+	}
+	msg := err.Error()
+	for _, want := range []string{"delta-svc", p.Addr(), "exec", "session"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestControlPlaneRetriesAfterSever(t *testing.T) {
+	_, p := deltaProxy(t)
+	c, err := DialWith(bg, p.Addr(), DialOptions{
+		Retry: RetryPolicy{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Profile(bg); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the base connection; the next control call must transparently
+	// redial and succeed (profile reads are idempotent).
+	p.Sever()
+	profile, err := c.Profile(bg)
+	if err != nil {
+		t.Fatalf("control call after sever = %v, want transparent retry", err)
+	}
+	if profile.Name != "oracle-like" {
+		t.Fatalf("profile = %+v", profile)
+	}
+
+	tables, err := c.ListTables(bg, "delta")
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("tables after recovery = %v, %v", tables, err)
+	}
+}
+
+func TestDataPlaneIsNotRetried(t *testing.T) {
+	_, p := deltaProxy(t)
+	c, err := DialWith(bg, p.Addr(), DialOptions{
+		Retry: RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = 1 WHERE fnu = 10"); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	// The exec is inside an open transaction: it must surface the failure,
+	// not silently replay on a fresh connection.
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = 2 WHERE fnu = 10"); err == nil {
+		t.Fatal("data-plane call after sever must fail, not retry")
+	}
+}
+
+func TestServerRejectsMalformedRequestKind(t *testing.T) {
+	srv := deltaServer(t)
+	ts, err := Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(&wire.Request{Kind: wire.ReqKind(99)}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err() == nil || !strings.Contains(resp.Err().Error(), "unknown request kind") {
+		t.Fatalf("resp err = %v", resp.Err())
+	}
+	// The connection survives a malformed request: a valid one still works.
+	if err := enc.Encode(&wire.Request{Kind: wire.ReqHello}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServiceNm != "delta-svc" {
+		t.Fatalf("hello after bad request = %+v", resp)
+	}
+}
+
+func TestServerRejectsUnknownSession(t *testing.T) {
+	srv := deltaServer(t)
+	ts, err := Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	conn, err := net.Dial("tcp", ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	for _, kind := range []wire.ReqKind{wire.ReqExec, wire.ReqPrepare, wire.ReqCommit, wire.ReqRollback, wire.ReqState, wire.ReqAttach} {
+		if err := enc.Encode(&wire.Request{Kind: kind, SessionID: 424242, SQL: "SELECT 1"}); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err() == nil || !strings.Contains(resp.Err().Error(), "unknown session") {
+			t.Fatalf("%s with bogus session: err = %v", kind, resp.Err())
+		}
+	}
+}
+
+func TestMidStreamCloseWrapsError(t *testing.T) {
+	_, p := deltaProxy(t)
+	c, err := DialWith(bg, p.Addr(), DialOptions{Retry: RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p.Close() // kills every proxied connection mid-stream
+	err = sess.Prepare(bg)
+	if err == nil {
+		t.Fatal("prepare over dead proxy should fail")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %T %v, want wrapped *OpError, not a bare EOF", err, err)
+	}
+	if oe.Op != wire.ReqPrepare {
+		t.Fatalf("op = %v, want prepare", oe.Op)
+	}
+}
+
+// prepareOrphan opens a session, updates a row, prepares it, and kills the
+// connection so the server parks the session in-doubt. Returns the
+// server-side session id.
+func prepareOrphan(t *testing.T, ts *TCPServer, p *netfault.Proxy) int64 {
+	t.Helper()
+	c, err := DialWith(bg, p.Addr(), DialOptions{
+		CallTimeout: 2 * time.Second,
+		Retry:       RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = 999 WHERE fnu = 10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Prepare(bg); err != nil {
+		t.Fatal(err)
+	}
+	_, id := sess.(Recoverable).RecoveryInfo()
+	p.Sever()
+	// Wait for the server to notice the dead connection and park the
+	// prepared session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ids := ts.InDoubt(); len(ids) == 1 && ids[0] == id {
+			return id
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %d never parked; in-doubt = %v", id, ts.InDoubt())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestResolveCommitsInDoubtSession(t *testing.T) {
+	ts, p := deltaProxy(t)
+	id := prepareOrphan(t, ts, p)
+
+	st, err := Resolve(bg, p.Addr(), id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("state = %v, want committed", st)
+	}
+	if n := len(ts.InDoubt()); n != 0 {
+		t.Fatalf("in-doubt after resolve = %d", n)
+	}
+
+	// The committed update is durable.
+	c, err := DialWith(bg, p.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Exec(bg, "SELECT rate FROM flight WHERE fnu = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := res.Rows[0][0].AsFloat(); f != 999 {
+		t.Fatalf("rate after resolved commit = %v, want 999", f)
+	}
+}
+
+func TestResolveRollsBackInDoubtSession(t *testing.T) {
+	ts, p := deltaProxy(t)
+	id := prepareOrphan(t, ts, p)
+
+	st, err := Resolve(bg, p.Addr(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateAborted {
+		t.Fatalf("state = %v, want aborted", st)
+	}
+
+	c, err := DialWith(bg, p.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Exec(bg, "SELECT rate FROM flight WHERE fnu = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := res.Rows[0][0].AsFloat(); f != 150 {
+		t.Fatalf("rate after resolved rollback = %v, want original 150", f)
+	}
+}
+
+func TestResolveAnswersFromOutcomeTombstone(t *testing.T) {
+	// Lost-acknowledgment case: the first Resolve commits; a second
+	// Resolve (the coordinator retrying because the ack was lost) must
+	// learn the definite outcome instead of failing or re-deciding.
+	ts, p := deltaProxy(t)
+	id := prepareOrphan(t, ts, p)
+
+	if _, err := Resolve(bg, p.Addr(), id, true); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Resolve(bg, p.Addr(), id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("retried resolve state = %v, want recorded committed outcome", st)
+	}
+	// Even a rollback-decision retry learns the truth — the recorded
+	// outcome wins over the stale decision.
+	st, err = Resolve(bg, p.Addr(), id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("conflicting retry state = %v, want recorded committed outcome", st)
+	}
+}
+
+func TestResolveUnknownSession(t *testing.T) {
+	_, p := deltaProxy(t)
+	if _, err := Resolve(bg, p.Addr(), 31337, true); err == nil {
+		t.Fatal("resolving a never-existing session should fail")
+	}
+}
+
+func TestServerCloseRecordsOutcomesForParked(t *testing.T) {
+	ts, p := deltaProxy(t)
+	id := prepareOrphan(t, ts, p)
+	ts.Close()
+	// Shutdown rolled the parked session back; nothing stays in doubt.
+	if n := len(ts.InDoubt()); n != 0 {
+		t.Fatalf("in-doubt after close = %d", n)
+	}
+	_ = id
+}

@@ -4,9 +4,16 @@
 // Client/Session interface over two transports — direct in-process calls
 // and gob-over-TCP — so evaluation plans run identically against local
 // and remote services.
+//
+// Every operation takes a context.Context: the remote transport turns the
+// context deadline (capped by the dial options' per-call timeout) into
+// net.Conn deadlines, so a partitioned or black-holed LAM fails the call
+// within a bounded time instead of hanging the evaluation plan.
 package lam
 
 import (
+	"context"
+
 	"msql/internal/ldbms"
 	"msql/internal/relstore"
 	"msql/internal/sqlengine"
@@ -16,15 +23,15 @@ import (
 // implicit transaction driven by the evaluation plan.
 type Session interface {
 	// Exec runs one SQL statement on the local database.
-	Exec(sql string) (*sqlengine.Result, error)
+	Exec(ctx context.Context, sql string) (*sqlengine.Result, error)
 	// Prepare enters the prepared-to-commit state (2PC servers only).
-	Prepare() error
+	Prepare(ctx context.Context) error
 	// Commit commits the open transaction.
-	Commit() error
+	Commit(ctx context.Context) error
 	// Rollback aborts the open transaction.
-	Rollback() error
+	Rollback(ctx context.Context) error
 	// State reports the observable session state.
-	State() (ldbms.SessionState, error)
+	State(ctx context.Context) (ldbms.SessionState, error)
 	// Database names the connected database.
 	Database() string
 	// Close releases the session, rolling back uncommitted work.
@@ -36,17 +43,25 @@ type Client interface {
 	// ServiceName returns the service's name in the federation.
 	ServiceName() string
 	// Profile reports the service's commit/connect capabilities.
-	Profile() (ldbms.Profile, error)
+	Profile(ctx context.Context) (ldbms.Profile, error)
 	// Open starts a session on a database.
-	Open(db string) (Session, error)
+	Open(ctx context.Context, db string) (Session, error)
 	// Describe reports the schema of a table or view, for IMPORT.
-	Describe(db, name string) ([]relstore.Column, error)
+	Describe(ctx context.Context, db, name string) ([]relstore.Column, error)
 	// ListTables lists the public tables of a database.
-	ListTables(db string) ([]string, error)
+	ListTables(ctx context.Context, db string) ([]string, error)
 	// ListViews lists the views of a database.
-	ListViews(db string) ([]string, error)
+	ListViews(ctx context.Context, db string) ([]string, error)
 	// Close releases the client.
 	Close() error
+}
+
+// Recoverable is implemented by sessions whose prepared transaction can be
+// driven to an outcome after a lost connection: RecoveryInfo names where a
+// recovering coordinator reconnects and which server-side session to
+// resolve (the in-doubt protocol of DESIGN.md §7).
+type Recoverable interface {
+	RecoveryInfo() (addr string, sessionID int64)
 }
 
 // Local is the in-process transport: a Client wired directly to an
@@ -62,10 +77,18 @@ func NewLocal(srv *ldbms.Server) *Local { return &Local{srv: srv} }
 func (l *Local) ServiceName() string { return l.srv.Name() }
 
 // Profile implements Client.
-func (l *Local) Profile() (ldbms.Profile, error) { return l.srv.Profile(), nil }
+func (l *Local) Profile(ctx context.Context) (ldbms.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return ldbms.Profile{}, err
+	}
+	return l.srv.Profile(), nil
+}
 
 // Open implements Client.
-func (l *Local) Open(db string) (Session, error) {
+func (l *Local) Open(ctx context.Context, db string) (Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := l.srv.OpenSession(db)
 	if err != nil {
 		return nil, err
@@ -74,7 +97,10 @@ func (l *Local) Open(db string) (Session, error) {
 }
 
 // Describe implements Client.
-func (l *Local) Describe(db, name string) ([]relstore.Column, error) {
+func (l *Local) Describe(ctx context.Context, db, name string) ([]relstore.Column, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := l.srv.OpenSession(db)
 	if err != nil {
 		return nil, err
@@ -84,7 +110,10 @@ func (l *Local) Describe(db, name string) ([]relstore.Column, error) {
 }
 
 // ListTables implements Client.
-func (l *Local) ListTables(db string) ([]string, error) {
+func (l *Local) ListTables(ctx context.Context, db string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := l.srv.OpenSession(db)
 	if err != nil {
 		return nil, err
@@ -94,7 +123,10 @@ func (l *Local) ListTables(db string) ([]string, error) {
 }
 
 // ListViews implements Client.
-func (l *Local) ListViews(db string) ([]string, error) {
+func (l *Local) ListViews(ctx context.Context, db string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := l.srv.OpenSession(db)
 	if err != nil {
 		return nil, err
@@ -110,12 +142,43 @@ type localSession struct {
 	sess *ldbms.Session
 }
 
-func (s *localSession) Exec(sql string) (*sqlengine.Result, error) { return s.sess.Exec(sql) }
-func (s *localSession) Prepare() error                             { return s.sess.Prepare() }
-func (s *localSession) Commit() error                              { return s.sess.Commit() }
-func (s *localSession) Rollback() error                            { return s.sess.Rollback() }
-func (s *localSession) State() (ldbms.SessionState, error)         { return s.sess.State(), nil }
-func (s *localSession) Database() string                           { return s.sess.Database() }
+func (s *localSession) Exec(ctx context.Context, sql string) (*sqlengine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.sess.Exec(sql)
+}
+
+func (s *localSession) Prepare(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.sess.Prepare()
+}
+
+func (s *localSession) Commit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.sess.Commit()
+}
+
+func (s *localSession) Rollback(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.sess.Rollback()
+}
+
+func (s *localSession) State(ctx context.Context) (ldbms.SessionState, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.sess.State(), nil
+}
+
+func (s *localSession) Database() string { return s.sess.Database() }
+
 func (s *localSession) Close() error {
 	s.sess.Close()
 	return nil

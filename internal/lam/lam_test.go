@@ -1,6 +1,7 @@
 package lam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,8 @@ import (
 	"msql/internal/ldbms"
 	"msql/internal/sqlval"
 )
+
+var bg = context.Background()
 
 func deltaServer(t testing.TB) *ldbms.Server {
 	t.Helper()
@@ -42,7 +45,7 @@ func runClientSuite(t *testing.T, c Client) {
 	if c.ServiceName() != "delta-svc" {
 		t.Fatalf("service = %s", c.ServiceName())
 	}
-	p, err := c.Profile()
+	p, err := c.Profile(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,27 +53,27 @@ func runClientSuite(t *testing.T, c Client) {
 		t.Fatalf("profile = %+v", p)
 	}
 
-	tables, err := c.ListTables("delta")
+	tables, err := c.ListTables(bg, "delta")
 	if err != nil || len(tables) != 1 || tables[0] != "flight" {
 		t.Fatalf("tables = %v, %v", tables, err)
 	}
-	views, err := c.ListViews("delta")
+	views, err := c.ListViews(bg, "delta")
 	if err != nil || len(views) != 1 || views[0] != "cheap" {
 		t.Fatalf("views = %v, %v", views, err)
 	}
-	cols, err := c.Describe("delta", "flight")
+	cols, err := c.Describe(bg, "delta", "flight")
 	if err != nil || len(cols) != 4 || cols[3].Name != "rate" {
 		t.Fatalf("cols = %+v, %v", cols, err)
 	}
 
-	sess, err := c.Open("delta")
+	sess, err := c.Open(bg, "delta")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sess.Database() != "delta" {
 		t.Fatalf("db = %s", sess.Database())
 	}
-	res, err := sess.Exec("SELECT fnu, rate FROM flight WHERE source = 'Houston'")
+	res, err := sess.Exec(bg, "SELECT fnu, rate FROM flight WHERE source = 'Houston'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,28 +88,28 @@ func runClientSuite(t *testing.T, c Client) {
 	}
 
 	// 2PC cycle with state inspection.
-	if _, err := sess.Exec("UPDATE flight SET rate = rate * 1.1 WHERE fnu = 10"); err != nil {
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = rate * 1.1 WHERE fnu = 10"); err != nil {
 		t.Fatal(err)
 	}
-	st, err := sess.State()
+	st, err := sess.State(bg)
 	if err != nil || st != ldbms.StateActive {
 		t.Fatalf("state = %v, %v", st, err)
 	}
-	if err := sess.Prepare(); err != nil {
+	if err := sess.Prepare(bg); err != nil {
 		t.Fatal(err)
 	}
-	st, _ = sess.State()
+	st, _ = sess.State(bg)
 	if st != ldbms.StatePrepared {
 		t.Fatalf("state = %v", st)
 	}
-	if err := sess.Rollback(); err != nil {
+	if err := sess.Rollback(bg); err != nil {
 		t.Fatal(err)
 	}
-	st, _ = sess.State()
+	st, _ = sess.State(bg)
 	if st != ldbms.StateAborted {
 		t.Fatalf("state = %v", st)
 	}
-	res, err = sess.Exec("SELECT rate FROM flight WHERE fnu = 10")
+	res, err = sess.Exec(bg, "SELECT rate FROM flight WHERE fnu = 10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,26 +117,26 @@ func runClientSuite(t *testing.T, c Client) {
 		t.Fatalf("rate after rollback = %v", f)
 	}
 	// Commit path: update, prepare, commit, verify durable, restore.
-	if _, err := sess.Exec("UPDATE flight SET rate = 160 WHERE fnu = 10"); err != nil {
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = 160 WHERE fnu = 10"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Prepare(); err != nil {
+	if err := sess.Prepare(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Commit(); err != nil {
+	if err := sess.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
-	res, err = sess.Exec("SELECT rate FROM flight WHERE fnu = 10")
+	res, err = sess.Exec(bg, "SELECT rate FROM flight WHERE fnu = 10")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f, _ := res.Rows[0][0].AsFloat(); f != 160 {
 		t.Fatalf("rate after commit = %v", f)
 	}
-	if _, err := sess.Exec("UPDATE flight SET rate = 150 WHERE fnu = 10"); err != nil {
+	if _, err := sess.Exec(bg, "UPDATE flight SET rate = 150 WHERE fnu = 10"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Commit(); err != nil {
+	if err := sess.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
 	if err := sess.Close(); err != nil {
@@ -141,16 +144,16 @@ func runClientSuite(t *testing.T, c Client) {
 	}
 
 	// Error propagation with sentinel preservation.
-	sess2, err := c.Open("delta")
+	sess2, err := c.Open(bg, "delta")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sess2.Close()
-	_, err = sess2.Exec("SELECT * FROM not_a_table")
+	_, err = sess2.Exec(bg, "SELECT * FROM not_a_table")
 	if err == nil {
 		t.Fatal("expected error for missing table")
 	}
-	if _, err := c.Open("not_a_db"); err == nil {
+	if _, err := c.Open(bg, "not_a_db"); err == nil {
 		t.Fatal("expected error for missing database")
 	}
 }
@@ -192,17 +195,17 @@ func TestRemoteSentinelErrorsSurviveWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	sess, err := c.Open("d")
+	sess, err := c.Open(bg, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	if err := sess.Prepare(); !errors.Is(err, ldbms.ErrNoTwoPC) {
+	if err := sess.Prepare(bg); !errors.Is(err, ldbms.ErrNoTwoPC) {
 		t.Fatalf("prepare err = %v, want ErrNoTwoPC across the wire", err)
 	}
 
 	srv.Faults().Add(ldbms.FaultRule{Op: ldbms.FaultExec})
-	if _, err := sess.Exec("SELECT 1"); !errors.Is(err, ldbms.ErrInjected) {
+	if _, err := sess.Exec(bg, "SELECT 1"); !errors.Is(err, ldbms.ErrInjected) {
 		t.Fatalf("exec err = %v, want ErrInjected across the wire", err)
 	}
 }
@@ -227,14 +230,14 @@ func TestRemoteParallelSessions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sess, err := c.Open("delta")
+			sess, err := c.Open(bg, "delta")
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer sess.Close()
 			for j := 0; j < 5; j++ {
-				if _, err := sess.Exec("SELECT COUNT(*) FROM flight"); err != nil {
+				if _, err := sess.Exec(bg, "SELECT COUNT(*) FROM flight"); err != nil {
 					errs[i] = err
 					return
 				}
@@ -258,15 +261,15 @@ func TestRemoteNullsAndValuesRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	sess, err := c.Open("delta")
+	sess, err := c.Open(bg, "delta")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	if _, err := sess.Exec("INSERT INTO flight (fnu) VALUES (99)"); err != nil {
+	if _, err := sess.Exec(bg, "INSERT INTO flight (fnu) VALUES (99)"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Exec("SELECT fnu, source, rate FROM flight WHERE fnu = 99")
+	res, err := sess.Exec(bg, "SELECT fnu, source, rate FROM flight WHERE fnu = 99")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,12 +320,12 @@ func TestRemoteLargeResultSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	sess, err := c.Open("d")
+	sess, err := c.Open(bg, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	res, err := sess.Exec("SELECT id, label FROM big")
+	res, err := sess.Exec(bg, "SELECT id, label FROM big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +350,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts.Close()
-	if _, err := c.Profile(); err == nil {
+	if _, err := c.Profile(bg); err == nil {
 		t.Fatal("call after server close should fail")
 	}
 	c.Close()

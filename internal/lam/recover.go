@@ -1,0 +1,59 @@
+package lam
+
+import (
+	"context"
+	"fmt"
+
+	"msql/internal/ldbms"
+	"msql/internal/wire"
+)
+
+// Resolve drives one in-doubt participant to the recorded
+// synchronization-point decision. It reconnects to the LAM at addr,
+// re-binds the parked prepared session with wire.ReqAttach, inspects its
+// state, and issues the decision (commit when commit is true, rollback
+// otherwise). When the participant already reached an outcome — its
+// prepare-to-commit was resolved on another path, or the commit
+// acknowledgment was lost — the recorded terminal state is returned
+// without further action.
+//
+// Resolve performs a single attempt; callers (the DOL engine's recovery
+// loop) bound and pace retries.
+func Resolve(ctx context.Context, addr string, sessionID int64, commit bool) (ldbms.SessionState, error) {
+	opts := DialOptions{}.withDefaults()
+	if _, ok := ctx.Deadline(); !ok {
+		// No caller deadline: still bound each call so a half-dead LAM
+		// cannot hang recovery.
+		opts.CallTimeout = 2 * opts.DialTimeout
+	}
+	conn, err := dialConn(ctx, addr, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.close()
+
+	resp, err := conn.call(ctx, &wire.Request{Kind: wire.ReqAttach, SessionID: sessionID})
+	if err != nil {
+		return 0, err
+	}
+	state := ldbms.SessionState(resp.State)
+	if state != ldbms.StatePrepared {
+		// Already resolved: the server answered with the recorded outcome.
+		return state, nil
+	}
+	decision := wire.ReqRollback
+	if commit {
+		decision = wire.ReqCommit
+	}
+	if _, err := conn.call(ctx, &wire.Request{Kind: decision, SessionID: sessionID}); err != nil {
+		return 0, fmt.Errorf("lam: resolve session %d at %s: %w", sessionID, addr, err)
+	}
+	final := ldbms.StateAborted
+	if commit {
+		final = ldbms.StateCommitted
+	}
+	// Release the re-bound session; its outcome tombstone survives on the
+	// server for coordinators that retry after a lost acknowledgment.
+	_, _ = conn.call(ctx, &wire.Request{Kind: wire.ReqCloseSession, SessionID: sessionID})
+	return final, nil
+}

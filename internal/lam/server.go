@@ -15,6 +15,14 @@ import (
 // connection runs its own request loop with its own session table, so one
 // remote client session maps to one connection and parallel tasks do not
 // serialize on a shared socket.
+//
+// Session ids are allocated server-wide: when a connection dies while a
+// session is prepared-to-commit (the in-doubt window of §3.2.2), the
+// session is parked rather than rolled back, and a recovering coordinator
+// re-binds it by id with wire.ReqAttach to drive it to commit or
+// rollback. Sessions that reached an outcome after having been prepared
+// leave a tombstone so a coordinator whose commit acknowledgment was lost
+// still learns the definite result.
 type TCPServer struct {
 	srv *ldbms.Server
 	ln  net.Listener
@@ -23,6 +31,11 @@ type TCPServer struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	sessMu   sync.Mutex
+	nextID   int64
+	detached map[int64]*ldbms.Session     // prepared sessions orphaned by connection loss
+	outcomes map[int64]ldbms.SessionState // terminal states of once-prepared sessions
 }
 
 // Serve starts serving srv on a fresh listener at addr (use "127.0.0.1:0"
@@ -32,7 +45,13 @@ func Serve(addr string, srv *ldbms.Server) (*TCPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	t := &TCPServer{
+		srv:      srv,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		detached: make(map[int64]*ldbms.Session),
+		outcomes: make(map[int64]ldbms.SessionState),
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -41,7 +60,9 @@ func Serve(addr string, srv *ldbms.Server) (*TCPServer, error) {
 // Addr returns the listen address.
 func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections. Parked in-doubt sessions
+// are rolled back — a server shutdown aborts unresolved participants —
+// and their outcome recorded.
 func (t *TCPServer) Close() error {
 	t.mu.Lock()
 	t.closed = true
@@ -51,7 +72,62 @@ func (t *TCPServer) Close() error {
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
+	t.sessMu.Lock()
+	for id, s := range t.detached {
+		s.Close()
+		t.outcomes[id] = s.State()
+		delete(t.detached, id)
+	}
+	t.sessMu.Unlock()
 	return err
+}
+
+// InDoubt reports the ids of parked prepared sessions awaiting a
+// coordinator decision (for tests and operational inspection).
+func (t *TCPServer) InDoubt() []int64 {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	ids := make([]int64, 0, len(t.detached))
+	for id := range t.detached {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (t *TCPServer) allocID() int64 {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// park saves a prepared session orphaned by its connection.
+func (t *TCPServer) park(id int64, s *ldbms.Session) {
+	t.sessMu.Lock()
+	t.detached[id] = s
+	t.sessMu.Unlock()
+}
+
+// attach re-binds a parked session; when the session already reached an
+// outcome it returns the recorded terminal state instead.
+func (t *TCPServer) attach(id int64) (*ldbms.Session, ldbms.SessionState, bool) {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	if s, ok := t.detached[id]; ok {
+		delete(t.detached, id)
+		return s, s.State(), true
+	}
+	if st, ok := t.outcomes[id]; ok {
+		return nil, st, true
+	}
+	return nil, 0, false
+}
+
+// recordOutcome remembers the terminal state of a once-prepared session.
+func (t *TCPServer) recordOutcome(id int64, st ldbms.SessionState) {
+	t.sessMu.Lock()
+	t.outcomes[id] = st
+	t.sessMu.Unlock()
 }
 
 func (t *TCPServer) acceptLoop() {
@@ -74,6 +150,12 @@ func (t *TCPServer) acceptLoop() {
 	}
 }
 
+// connState is the per-connection session table.
+type connState struct {
+	sessions map[int64]*ldbms.Session
+	prepared map[int64]bool // sessions that entered the prepared state
+}
+
 func (t *TCPServer) handle(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -85,13 +167,23 @@ func (t *TCPServer) handle(conn net.Conn) {
 
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	sessions := make(map[int64]*ldbms.Session)
+	cs := &connState{sessions: make(map[int64]*ldbms.Session), prepared: make(map[int64]bool)}
 	defer func() {
-		for _, s := range sessions {
+		// The connection is gone. Prepared sessions are in-doubt: park them
+		// for coordinator recovery instead of rolling back. Everything else
+		// dies with the connection, leaving an outcome tombstone when the
+		// session had been prepared (its fate matters to a coordinator).
+		for id, s := range cs.sessions {
+			if s.State() == ldbms.StatePrepared {
+				t.park(id, s)
+				continue
+			}
 			s.Close()
+			if cs.prepared[id] {
+				t.recordOutcome(id, s.State())
+			}
 		}
 	}()
-	var nextID int64
 
 	for {
 		var req wire.Request
@@ -101,21 +193,21 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := t.dispatch(&req, sessions, &nextID)
+		resp := t.dispatch(&req, cs)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (t *TCPServer) dispatch(req *wire.Request, sessions map[int64]*ldbms.Session, nextID *int64) *wire.Response {
+func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 	resp := &wire.Response{}
 	fail := func(err error) *wire.Response {
 		resp.ErrCode, resp.ErrMsg = wire.EncodeError(err)
 		return resp
 	}
 	session := func() (*ldbms.Session, bool) {
-		s, ok := sessions[req.SessionID]
+		s, ok := cs.sessions[req.SessionID]
 		return s, ok
 	}
 
@@ -130,9 +222,9 @@ func (t *TCPServer) dispatch(req *wire.Request, sessions map[int64]*ldbms.Sessio
 		if err != nil {
 			return fail(err)
 		}
-		*nextID++
-		sessions[*nextID] = s
-		resp.SessionID = *nextID
+		id := t.allocID()
+		cs.sessions[id] = s
+		resp.SessionID = id
 	case wire.ReqExec:
 		s, ok := session()
 		if !ok {
@@ -155,6 +247,7 @@ func (t *TCPServer) dispatch(req *wire.Request, sessions map[int64]*ldbms.Sessio
 		if err := s.Prepare(); err != nil {
 			return fail(err)
 		}
+		cs.prepared[req.SessionID] = true
 	case wire.ReqCommit:
 		s, ok := session()
 		if !ok {
@@ -177,10 +270,24 @@ func (t *TCPServer) dispatch(req *wire.Request, sessions map[int64]*ldbms.Sessio
 			return fail(errors.New("lam: unknown session"))
 		}
 		resp.State = uint8(s.State())
+	case wire.ReqAttach:
+		s, st, ok := t.attach(req.SessionID)
+		if !ok {
+			return fail(errors.New("lam: unknown session"))
+		}
+		if s != nil {
+			cs.sessions[req.SessionID] = s
+			cs.prepared[req.SessionID] = true
+		}
+		resp.State = uint8(st)
 	case wire.ReqCloseSession:
 		if s, ok := session(); ok {
 			s.Close()
-			delete(sessions, req.SessionID)
+			if cs.prepared[req.SessionID] {
+				t.recordOutcome(req.SessionID, s.State())
+			}
+			delete(cs.sessions, req.SessionID)
+			delete(cs.prepared, req.SessionID)
 		}
 	case wire.ReqDescribe:
 		s, err := t.srv.OpenSession(req.Database)

@@ -43,8 +43,8 @@ type FaultRule struct {
 	Op          FaultOp
 	Database    string
 	Skip        int     // number of matching calls to let through first
-	Probability float64 // 0 => deterministic one-shot
-	Sticky      bool    // keep firing instead of one-shot
+	Probability float64 // 0 => deterministic; otherwise fire with this chance
+	Sticky      bool    // keep firing instead of one-shot (applies to probabilistic rules too)
 	Message     string
 }
 
@@ -107,7 +107,7 @@ func (f *FaultInjector) Check(op FaultOp, database string) error {
 			r.Skip--
 			continue
 		}
-		if !r.Sticky && r.Probability == 0 {
+		if !r.Sticky {
 			f.rules = append(f.rules[:i], f.rules[i+1:]...)
 		}
 		f.fired++

@@ -289,6 +289,32 @@ func TestFaultSticky(t *testing.T) {
 	}
 }
 
+func TestFaultProbabilisticOneShot(t *testing.T) {
+	// A non-sticky probabilistic rule must be removed after its first
+	// firing — it used to keep firing forever regardless of Sticky.
+	f := NewFaultInjector(1)
+	f.Add(FaultRule{Op: FaultExec, Probability: 1.0})
+	if err := f.Check(FaultExec, "db"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first check err = %v, want ErrInjected", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Check(FaultExec, "db"); err != nil {
+			t.Fatalf("check %d after one-shot fired: %v", i, err)
+		}
+	}
+	if got := f.Fired(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+
+	// Sticky keeps a probabilistic rule installed.
+	f.Add(FaultRule{Op: FaultExec, Probability: 1.0, Sticky: true})
+	for i := 0; i < 3; i++ {
+		if err := f.Check(FaultExec, "db"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky check %d err = %v", i, err)
+		}
+	}
+}
+
 func TestFaultProbabilisticDeterministicSeed(t *testing.T) {
 	count := func() int {
 		f := NewFaultInjector(42)

@@ -1,0 +1,199 @@
+package netfault
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					if _, err := io.WriteString(c, sc.Text()+"\n"); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(t *testing.T, c net.Conn, line string) (string, error) {
+	t.Helper()
+	if _, err := io.WriteString(c, line+"\n"); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(c)
+	return r.ReadString('\n')
+}
+
+func TestProxyForwards(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	got, err := roundTrip(t, c, "hello")
+	if err != nil || strings.TrimSpace(got) != "hello" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDelay(50 * time.Millisecond)
+
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := roundTrip(t, c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Request and response each pay the delay at least once.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= ~100ms with 50ms delay each way", elapsed)
+	}
+}
+
+func TestProxyBlackholeBlocksAndResumes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := roundTrip(t, c, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetBlackhole(true)
+	if _, err := io.WriteString(c, "void\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read through a black hole should time out")
+	}
+	c.SetReadDeadline(time.Time{})
+
+	// Resuming delivers the buffered bytes.
+	p.SetBlackhole(false)
+	r := bufio.NewReader(c)
+	got, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(got) != "void" {
+		t.Fatalf("after resume = %q, %v", got, err)
+	}
+}
+
+func TestProxySeverKillsActiveButAcceptsNew(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	if _, err := roundTrip(t, c, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := bufio.NewReader(c).ReadString('\n'); err == nil {
+		t.Fatal("severed connection should be dead")
+	}
+
+	// The partition heals: a fresh connection works.
+	c2 := dialProxy(t, p)
+	got, err := roundTrip(t, c2, "post")
+	if err != nil || strings.TrimSpace(got) != "post" {
+		t.Fatalf("after sever round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyRefuse(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetRefuse(true)
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// The TCP accept still happens; the proxy closes immediately, so the
+		// first read fails.
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := c.Read(buf); rerr == nil {
+			t.Fatal("refused connection should be closed")
+		}
+		c.Close()
+	}
+
+	p.SetRefuse(false)
+	c2 := dialProxy(t, p)
+	got, err := roundTrip(t, c2, "open")
+	if err != nil || strings.TrimSpace(got) != "open" {
+		t.Fatalf("after unrefuse = %q, %v", got, err)
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

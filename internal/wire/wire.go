@@ -10,8 +10,12 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"syscall"
 
 	"msql/internal/ldbms"
 	"msql/internal/relstore"
@@ -35,11 +39,18 @@ const (
 	ReqDescribe
 	ReqListTables
 	ReqListViews
+	// ReqAttach re-binds a prepared session orphaned by a lost connection
+	// (an in-doubt participant) to the requesting connection, so a
+	// recovering coordinator can query its state and drive it to
+	// commit/rollback. For sessions already resolved after detaching, the
+	// response carries the recorded terminal state instead of binding.
+	ReqAttach
 )
 
 func (k ReqKind) String() string {
 	names := [...]string{"hello", "profile", "open", "exec", "prepare", "commit",
-		"rollback", "state", "close-session", "describe", "list-tables", "list-views"}
+		"rollback", "state", "close-session", "describe", "list-tables", "list-views",
+		"attach"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -198,3 +209,33 @@ type Response struct {
 
 // Err returns the decoded error of the response.
 func (r *Response) Err() error { return DecodeError(r.ErrCode, r.ErrMsg) }
+
+// Transient reports whether an error is a transport-level failure whose
+// outcome at the server is unknown (timeout, severed or refused
+// connection, torn gob stream). Transient errors may be retried on the
+// control plane and mark in-flight transaction work as in-doubt. Errors
+// the server answered with (wire Response errors) are definite and never
+// transient; a caller-canceled context is deliberate and not transient
+// either.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	switch {
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ETIMEDOUT):
+		return true
+	}
+	return false
+}

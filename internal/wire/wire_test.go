@@ -2,9 +2,15 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
 	"testing"
+	"time"
 
 	"msql/internal/ldbms"
 	"msql/internal/relstore"
@@ -105,5 +111,81 @@ func TestReqKindStrings(t *testing.T) {
 	}
 	if ReqKind(200).String() == "" {
 		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"net-closed", net.ErrClosed, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"conn-reset", syscall.ECONNRESET, true},
+		{"conn-refused", syscall.ECONNREFUSED, true},
+		{"wrapped-eof", fmt.Errorf("exec: %w", io.EOF), true},
+		{"op-error-dial", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		// Definite: the server answered.
+		{"server-answered", DecodeError(CodeNoTable, "no such table"), false},
+		{"injected", DecodeError(CodeInjected, "fault"), false},
+		{"plain", errors.New("syntax error"), false},
+		// A canceled context is the caller's own decision, not a fault.
+		{"canceled", context.Canceled, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTransientTimeoutInterface(t *testing.T) {
+	// Any net.Error reporting Timeout() is transient, e.g. the error an
+	// expired conn deadline produces.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	_, rerr := c.Read(make([]byte, 1))
+	if rerr == nil {
+		t.Fatal("read should have timed out")
+	}
+	if !Transient(rerr) {
+		t.Fatalf("deadline error %v should be transient", rerr)
+	}
+}
+
+func TestTruncatedStreamDecodeIsTransient(t *testing.T) {
+	// A gob stream cut mid-message decodes to an EOF-family error, which
+	// must classify as transient (outcome unknown).
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Response{ServiceNm: "svc", ErrMsg: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	var resp Response
+	err := gob.NewDecoder(bytes.NewReader(cut)).Decode(&resp)
+	if err == nil {
+		t.Fatal("truncated stream should fail to decode")
+	}
+	if !Transient(err) {
+		t.Fatalf("truncated-stream error %v should be transient", err)
+	}
+}
+
+func TestAttachKindString(t *testing.T) {
+	if ReqAttach.String() != "attach" {
+		t.Fatalf("attach kind = %q", ReqAttach.String())
 	}
 }
