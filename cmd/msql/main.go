@@ -17,27 +17,42 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"msql/internal/core"
 	"msql/internal/demo"
 	"msql/internal/dol"
+	"msql/internal/lam"
+	"msql/internal/mtlog"
 	"msql/internal/translate"
 )
 
+// main defers everything that must happen on the way out (journal close,
+// state snapshot) inside realMain so a nonzero exit cannot skip it.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		file     = flag.String("f", "", "MSQL script file to run")
-		autoCont = flag.Bool("autocommit-cont", false, "put continental on an autocommit-only service")
-		showDOL  = flag.Bool("dol", false, "echo generated DOL programs")
-		seed     = flag.Int64("seed", 1, "fault-injection random seed")
-		stateDir = flag.String("state", "", "directory of per-service snapshots to load at start and save at exit")
+		file        = flag.String("f", "", "MSQL script file to run")
+		autoCont    = flag.Bool("autocommit-cont", false, "put continental on an autocommit-only service")
+		showDOL     = flag.Bool("dol", false, "echo generated DOL programs")
+		seed        = flag.Int64("seed", 1, "fault-injection random seed")
+		stateDir    = flag.String("state", "", "directory of per-service snapshots to load at start and save at exit")
+		journalPath = flag.String("journal", "", "write-ahead multitransaction journal file: replayed at start, appended during the session, closed at exit")
+		breakerN    = flag.Int("breaker-threshold", 0, "consecutive transient failures that open a site's circuit breaker (0 disables breakers)")
+		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open trial")
 	)
 	var execs multiFlag
 	flag.Var(&execs, "e", "MSQL statement to execute (repeatable)")
@@ -46,12 +61,15 @@ func main() {
 	fed, err := demo.Build(demo.Options{ContinentalAutoCommit: *autoCont, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bootstrap:", err)
-		os.Exit(1)
+		return 1
+	}
+	if *breakerN > 0 {
+		fed.SetBreaker(lam.BreakerPolicy{Threshold: *breakerN, Cooldown: *breakerCool})
 	}
 	if *stateDir != "" {
 		if err := loadState(fed, *stateDir); err != nil {
 			fmt.Fprintln(os.Stderr, "load state:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			if err := saveState(fed, *stateDir); err != nil {
@@ -59,6 +77,35 @@ func main() {
 			}
 		}()
 	}
+	if *journalPath != "" {
+		j, err := mtlog.Open(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			return 1
+		}
+		defer j.Close()
+		fed.SetJournal(j)
+		rep, err := fed.Recover(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recover:", err)
+			return 1
+		}
+		printRecovery(os.Stderr, rep)
+	}
+
+	// First SIGINT drains: execution stops at the next statement boundary,
+	// the pending unit synchronizes, snapshots and the journal close
+	// normally. A second SIGINT kills the process the default way.
+	drain := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "\ninterrupt: draining — stopping at the next statement boundary")
+		close(drain)
+		signal.Stop(sigCh)
+	}()
+	fed.SetDrain(drain)
 
 	run := func(src string) bool {
 		return runSource(fed, src, *showDOL, os.Stdout, os.Stderr)
@@ -69,17 +116,41 @@ func main() {
 		data, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if !run(string(data)) {
-			os.Exit(1)
+			return 1
 		}
 	case len(execs) > 0:
 		if !run(strings.Join(execs, ";\n")) {
-			os.Exit(1)
+			return 1
 		}
 	default:
-		repl(fed, *showDOL)
+		repl(fed, *showDOL, drain)
+	}
+	return 0
+}
+
+// printRecovery reports one journal replay on startup.
+func printRecovery(w io.Writer, rep *core.RecoveryReport) {
+	if rep.Multitransactions == 0 {
+		fmt.Fprintln(w, "journal: clean")
+		return
+	}
+	fmt.Fprintf(w, "journal: examined %d open multitransaction(s): %d in-doubt participant(s) resolved, %d compensation(s) completed, %d participant(s) unreachable, %d compacted\n",
+		rep.Multitransactions, len(rep.Resolved), len(rep.CompRuns), len(rep.Unreachable), rep.Compacted)
+	for _, p := range rep.Resolved {
+		decision := "rollback"
+		if p.Commit {
+			decision = "commit"
+		}
+		fmt.Fprintf(w, "  resolved: %s session %d at %s -> %s\n", p.Entry, p.SessionID, p.Addr, decision)
+	}
+	for _, p := range rep.Unreachable {
+		fmt.Fprintf(w, "  unreachable: %s session %d at %s (left in journal for the next pass)\n", p.Entry, p.SessionID, p.Addr)
+	}
+	for _, name := range rep.CompRuns {
+		fmt.Fprintf(w, "  compensation re-run: %s\n", name)
 	}
 }
 
@@ -98,6 +169,10 @@ func runSource(fed *core.Federation, src string, showDOL bool, out, errw io.Writ
 		if scriptFailed(r) {
 			ok = false
 		}
+	}
+	if errors.Is(err, core.ErrDrained) {
+		fmt.Fprintln(errw, "drained: remaining statements skipped")
+		return false
 	}
 	if err != nil {
 		fmt.Fprintln(errw, "error:", err)
@@ -129,7 +204,7 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func repl(fed *core.Federation, showDOL bool) {
+func repl(fed *core.Federation, showDOL bool, drain <-chan struct{}) {
 	fmt.Println("Extended MSQL shell — demo federation: continental delta united avis national")
 	fmt.Println("End statements with ';' or an empty line; .dol on|off, .gdd, .services, .quit")
 	sc := bufio.NewScanner(os.Stdin)
@@ -142,6 +217,14 @@ func repl(fed *core.Federation, showDOL bool) {
 			fmt.Print("  ... ")
 		}
 	}
+	draining := func() bool {
+		select {
+		case <-drain:
+			return true
+		default:
+			return false
+		}
+	}
 	flush := func() {
 		src := strings.TrimSpace(buf.String())
 		buf.Reset()
@@ -152,7 +235,9 @@ func repl(fed *core.Federation, showDOL bool) {
 		for _, r := range results {
 			printResult(os.Stdout, r, showDOL)
 		}
-		if err != nil {
+		if errors.Is(err, core.ErrDrained) {
+			fmt.Fprintln(os.Stderr, "drained")
+		} else if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -179,6 +264,9 @@ func repl(fed *core.Federation, showDOL bool) {
 			if strings.HasSuffix(trimmed, ";") && !needsMore(buf.String()) {
 				flush()
 			}
+		}
+		if draining() {
+			return
 		}
 		prompt()
 	}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/netfault"
+)
+
+// breakerFederation: continental healthy over TCP, united behind a
+// netfault proxy, both lazily dialed so the federation's breaker policy
+// wraps them.
+func breakerFederation(t *testing.T, pol lam.BreakerPolicy, timeout time.Duration) (*Federation, *netfault.Proxy) {
+	t.Helper()
+	fed := New()
+	fed.CallTimeout = timeout
+	fed.SetBreaker(pol)
+
+	build := func(svc, db string, ddl ...string) string {
+		srv := ldbms.NewServer(svc, ldbms.ProfileOracleLike(), 1)
+		if err := srv.CreateDatabase(db); err != nil {
+			t.Fatal(err)
+		}
+		seedDB(t, srv, db, ddl...)
+		ts, err := lam.Serve("127.0.0.1:0", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ts.Close() })
+		return ts.Addr()
+	}
+	contAddr := build("svc_cont", "continental",
+		"CREATE TABLE flights (flnu INTEGER, source CHAR(20), rate FLOAT)",
+		"INSERT INTO flights VALUES (100, 'Houston', 100.0)")
+	unitAddr := build("svc_unit", "united",
+		"CREATE TABLE flight (fn INTEGER, sour CHAR(20), rates FLOAT)",
+		"INSERT INTO flight VALUES (300, 'Houston', 120.0)")
+	proxy, err := netfault.New(unitAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	setup := fmt.Sprintf(`
+INCORPORATE SERVICE svc_cont SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_unit SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE continental FROM SERVICE svc_cont;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+`, contAddr, proxy.Addr())
+	if _, err := fed.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	return fed, proxy
+}
+
+// Non-vital scope: continental must answer, united may degrade.
+const breakerSelect = "USE continental VITAL united\nSELECT rate% FROM flight%"
+
+func TestBreakerDegradesNonVitalSiteToPartialResults(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	fed, proxy := breakerFederation(t, lam.BreakerPolicy{
+		Threshold: 2, Cooldown: time.Hour,
+	}, timeout)
+
+	// The site goes dark. Statements keep timing out against it until
+	// the breaker trips at the failure threshold.
+	proxy.SetBlackhole(true)
+	b := func() *lam.BreakerClient { return fed.Breaker(proxy.Addr()) }
+	deadline := time.Now().Add(30 * time.Second)
+	for b() == nil || b().State() != lam.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		if _, err := fed.ExecScript(breakerSelect); err == nil {
+			t.Fatal("statement against a black-holed site should fail before the breaker trips")
+		}
+	}
+
+	// With the breaker open the degraded site fast-fails: the statement
+	// answers from the reachable sites well inside one call timeout,
+	// reporting the degraded scope entry instead of erroring.
+	start := time.Now()
+	results, err := fed.ExecScript(breakerSelect)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+	if elapsed >= timeout {
+		t.Fatalf("degraded query took %v, want fast-fail under the %v call timeout", elapsed, timeout)
+	}
+	res := results[len(results)-1]
+	if len(res.Degraded) != 1 || res.Degraded[0] != "united" {
+		t.Fatalf("degraded = %v, want [united]", res.Degraded)
+	}
+	if res.Multitable == nil || len(res.Multitable.Tables) != 1 || res.Multitable.Tables[0].Database != "continental" {
+		t.Fatalf("multitable = %+v, want continental's partial result", res.Multitable)
+	}
+	if len(res.Multitable.Tables[0].Rows) != 1 {
+		t.Fatalf("continental rows = %d, want 1", len(res.Multitable.Tables[0].Rows))
+	}
+}
+
+func TestBreakerVitalSiteStillErrors(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	fed, proxy := breakerFederation(t, lam.BreakerPolicy{
+		Threshold: 1, Cooldown: time.Hour,
+	}, timeout)
+	proxy.SetBlackhole(true)
+
+	// Trip the breaker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b := fed.Breaker(proxy.Addr()); b != nil && b.State() == lam.BreakerOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		_, _ = fed.ExecScript(breakerSelect)
+	}
+	// A VITAL designator on the dark site must surface the failure, not
+	// silently drop the partial result.
+	if _, err := fed.ExecScript("USE continental united VITAL\nSELECT rate% FROM flight%"); err == nil {
+		t.Fatal("vital site behind an open breaker must fail the query")
+	}
+}
+
+func TestBreakerHalfOpensAfterCooldownAndRecovers(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	cooldown := 200 * time.Millisecond
+	fed, proxy := breakerFederation(t, lam.BreakerPolicy{
+		Threshold: 1, Cooldown: cooldown,
+	}, timeout)
+	proxy.SetBlackhole(true)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b := fed.Breaker(proxy.Addr()); b != nil && b.State() == lam.BreakerOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		_, _ = fed.ExecScript(breakerSelect)
+	}
+
+	// Cooldown elapses: the breaker reports half-open and admits one
+	// trial. The site is healthy again, so the trial closes the breaker
+	// and the full multitable comes back.
+	time.Sleep(cooldown + 50*time.Millisecond)
+	if st := fed.Breaker(proxy.Addr()).State(); st != lam.BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", st)
+	}
+	proxy.SetBlackhole(false)
+	results, err := fed.ExecScript(breakerSelect)
+	if err != nil {
+		t.Fatalf("query after recovery failed: %v", err)
+	}
+	res := results[len(results)-1]
+	if len(res.Degraded) != 0 {
+		t.Fatalf("degraded = %v after recovery", res.Degraded)
+	}
+	if res.Multitable == nil || len(res.Multitable.Tables) != 2 {
+		t.Fatalf("multitable = %+v, want both sites' partial results", res.Multitable)
+	}
+	if fed.Breaker(proxy.Addr()).State() != lam.BreakerClosed {
+		t.Fatalf("state = %s, want closed after successful trial", fed.Breaker(proxy.Addr()).State())
+	}
+}

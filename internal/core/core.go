@@ -28,6 +28,7 @@ import (
 	"msql/internal/lam"
 	"msql/internal/ldbms"
 	"msql/internal/msqlparser"
+	"msql/internal/mtlog"
 	"msql/internal/multitable"
 	"msql/internal/relstore"
 	"msql/internal/semvar"
@@ -125,6 +126,10 @@ type Result struct {
 	// reach; non-empty only with State == StateUnresolved or when a
 	// non-vital participant stayed in doubt.
 	Unresolved []Participant
+	// Degraded lists non-vital scope entries whose site's circuit
+	// breaker was open: the multitable carries no partial result for
+	// them, but the query still answered from the reachable sites.
+	Degraded []string
 }
 
 // Participant identifies an in-doubt remote transaction branch left
@@ -174,6 +179,11 @@ type Federation struct {
 	multiviews map[string]*storedView
 	triggers   map[string]*storedTrigger
 	inTrigger  bool
+
+	// durable-coordinator state (see journal.go)
+	journal    *mtlog.Journal
+	drainCh    <-chan struct{}
+	breakerPol *lam.BreakerPolicy
 }
 
 // storedView is a multidatabase view: a multiple query with the scope and
@@ -252,14 +262,19 @@ func (f *Federation) Resolve(site string) (lam.Client, error) {
 		f.mu.Unlock()
 		return c, nil
 	}
+	pol := f.breakerPol
 	f.mu.Unlock()
 	if strings.Contains(site, ":") {
 		c, err := lam.DialWith(context.Background(), site, lam.DialOptions{CallTimeout: f.CallTimeout})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s (%v)", ErrNoClient, site, err)
 		}
-		f.RegisterClient(site, c)
-		return c, nil
+		var client lam.Client = c
+		if pol != nil {
+			client = lam.WithBreaker(c, *pol)
+		}
+		f.RegisterClient(site, client)
+		return client, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNoClient, site)
 }
@@ -310,6 +325,17 @@ func (f *Federation) ExecScriptContext(ctx context.Context, src string) ([]*Resu
 		}
 	}
 	for _, stmt := range script.Stmts {
+		if f.draining() {
+			// Stop at a statement boundary: synchronize what is pending so
+			// no unit is abandoned inside the prepared-to-commit window,
+			// then report the drain.
+			r, ferr := f.flush(ctx)
+			add(r)
+			if ferr != nil {
+				return results, ferr
+			}
+			return results, ErrDrained
+		}
 		rs, err := f.execStmt(ctx, stmt)
 		add(rs...)
 		if err != nil {
@@ -554,7 +580,7 @@ func (f *Federation) sync(ctx context.Context, mode translate.SyncMode) (*Result
 		f.dropProvisional(meta, nil)
 		return res, nil
 	}
-	out, err := f.engine.Run(ctx, prog)
+	out, err := f.runPlan(ctx, "sync", prog, meta)
 	if err != nil {
 		f.dropProvisional(meta, out)
 		return res, err
@@ -627,7 +653,7 @@ func (f *Federation) fireTriggers(ctx context.Context, res *Result, meta *transl
 				if err != nil {
 					return nil, nil, err
 				}
-				_, err = f.engine.Run(ctx, prog)
+				_, err = f.runPlan(ctx, "trigger", prog, tmeta)
 				return prog, tmeta, err
 			}()
 			f.inTrigger = false
@@ -800,6 +826,14 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 		info := out.Tasks[tm.Name]
 		if info == nil || info.Result == nil {
 			if info != nil && info.Err != nil {
+				// A breaker-open site degrades a non-vital entry to an
+				// absent partial result; everything else still fails the
+				// query (an unreachable site whose breaker has not tripped
+				// is an error, not a silent hole in the answer).
+				if errors.Is(info.Err, lam.ErrBreakerOpen) && !tm.Entry.Vital {
+					res.Degraded = append(res.Degraded, tm.Entry.Name)
+					continue
+				}
 				return fmt.Errorf("core: subquery on %s failed: %w", tm.Entry.Name, info.Err)
 			}
 			continue
@@ -825,7 +859,7 @@ func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt)
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(ctx, prog)
+	out, err := f.runPlan(ctx, "dml", prog, meta)
 	if err != nil {
 		return res, err
 	}
@@ -847,7 +881,7 @@ func (f *Federation) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt)
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(ctx, prog)
+	out, err := f.runPlan(ctx, "multitx", prog, meta)
 	if err != nil {
 		return res, err
 	}

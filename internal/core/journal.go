@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"msql/internal/dol"
+	"msql/internal/dolengine"
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/mtlog"
+	"msql/internal/sqlparser"
+	"msql/internal/translate"
+)
+
+// ErrDrained reports that script execution stopped at a statement
+// boundary because the federation's drain channel fired: the pending
+// unit was synchronized first, so no statement was cut off mid-2PC.
+var ErrDrained = errors.New("core: script execution drained")
+
+// SetJournal attaches a write-ahead multitransaction journal. Every
+// synchronized unit, global DML statement, and multitransaction run
+// after the call is journaled: begin record with the plan's task
+// topology, prepared participants, synchronization-point decisions
+// (durable before the first COMMIT is delivered), terminal outcomes,
+// and an end record once fully terminal. Recover replays the journal
+// after a crash.
+func (f *Federation) SetJournal(j *mtlog.Journal) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.journal = j
+}
+
+// Journal returns the attached journal, nil when none is set.
+func (f *Federation) Journal() *mtlog.Journal {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.journal
+}
+
+// SetDrain installs a drain signal: once ch is closed (or receives),
+// ExecScriptContext stops before the next statement, synchronizes the
+// pending unit, and returns ErrDrained. A SIGINT handler uses this to
+// wind down cleanly instead of dying inside a 2PC window.
+func (f *Federation) SetDrain(ch <-chan struct{}) {
+	f.drainCh = ch
+}
+
+// draining reports whether the drain signal has fired.
+func (f *Federation) draining() bool {
+	if f.drainCh == nil {
+		return false
+	}
+	select {
+	case <-f.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// SetBreaker installs a circuit-breaker policy for LAM clients the
+// federation dials itself (host:port sites resolved lazily). Clients
+// registered explicitly are used as-is; wrap them with lam.WithBreaker
+// to gate them too.
+func (f *Federation) SetBreaker(pol lam.BreakerPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.breakerPol = &pol
+}
+
+// Breaker returns the circuit breaker wrapping the client registered
+// under key, nil when that client has none.
+func (f *Federation) Breaker(key string) *lam.BreakerClient {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b, ok := f.clients[key].(*lam.BreakerClient); ok {
+		return b
+	}
+	return nil
+}
+
+// txJournal adapts the journal to the engine's TxLog for one plan run.
+type txJournal struct {
+	j    *mtlog.Journal
+	mtid uint64
+}
+
+func (t *txJournal) TaskPrepared(task, addr string, sessionID int64) {
+	_ = t.j.Append(&mtlog.Record{
+		Type: mtlog.TPrepared, MTID: t.mtid, Task: task, Addr: addr, SessionID: sessionID,
+	})
+}
+
+func (t *txJournal) Decision(commit bool, tasks []string) error {
+	return t.j.Append(&mtlog.Record{
+		Type: mtlog.TDecision, MTID: t.mtid, Commit: commit, Decided: tasks,
+	})
+}
+
+func (t *txJournal) TaskOutcome(task string, st dol.TaskStatus) {
+	var u uint8
+	switch st {
+	case dol.StatusCommitted:
+		u = mtlog.StatusCommitted
+	case dol.StatusAborted:
+		u = mtlog.StatusAborted
+	default:
+		u = mtlog.StatusError
+	}
+	_ = t.j.Append(&mtlog.Record{Type: mtlog.TOutcome, MTID: t.mtid, Task: task, Status: u})
+}
+
+// siteOf resolves a database to the site its LAM is reachable at (the
+// AD site, falling back to the service name for in-process clients).
+func (f *Federation) siteOf(db string) string {
+	svc, err := f.GDD.ServiceOf(db)
+	if err != nil {
+		return ""
+	}
+	if e, err := f.AD.Lookup(svc); err == nil && e.Site != "" {
+		return e.Site
+	}
+	return svc
+}
+
+// runPlan executes a manipulation plan, journaling it when a journal is
+// attached: a begin record with the task topology goes in before the
+// engine starts, the engine reports prepared/decision/outcome records
+// through a txJournal, and an end record closes the multitransaction
+// when nothing is left unresolved.
+func (f *Federation) runPlan(ctx context.Context, kind string, prog *dol.Program, meta *translate.Meta) (*dolengine.Outcome, error) {
+	j := f.Journal()
+	if j == nil {
+		return f.engine.Run(ctx, prog)
+	}
+	begin := &mtlog.Record{Type: mtlog.TBegin, MTID: j.NextID(), Kind: kind}
+	for _, tm := range meta.Tasks {
+		d := mtlog.TaskDecl{
+			Name:     tm.Name,
+			Entry:    tm.Entry.Name,
+			Database: tm.Entry.Database,
+			Site:     f.siteOf(tm.Entry.Database),
+			Vital:    tm.Entry.Vital,
+		}
+		if tm.Role == translate.RoleComp {
+			d.Comp = true
+			d.ForTask = meta.TaskFor(tm.Entry.Name)
+			if tm.Stmt != nil {
+				d.SQL = sqlparser.Deparse(tm.Stmt)
+			}
+		}
+		begin.Tasks = append(begin.Tasks, d)
+	}
+	if err := j.Append(begin); err != nil {
+		return nil, fmt.Errorf("core: journal begin: %w", err)
+	}
+	out, err := f.engine.RunLogged(ctx, prog, &txJournal{j: j, mtid: begin.MTID})
+	if err == nil && out != nil && len(out.Unresolved) == 0 && !compOwed(meta, out) {
+		_ = j.Append(&mtlog.Record{
+			Type: mtlog.TEnd, MTID: begin.MTID, State: "status=" + strconv.Itoa(out.Status),
+		})
+	}
+	return out, err
+}
+
+// compOwed reports whether a plan that took the abort path left a
+// compensation undone for an already-committed subquery — the
+// multitransaction then stays open in the journal so Recover finishes
+// the compensation.
+func compOwed(meta *translate.Meta, out *dolengine.Outcome) bool {
+	if out.Status != translate.StatusAborted {
+		return false
+	}
+	for _, tm := range meta.Tasks {
+		if tm.Role != translate.RoleComp {
+			continue
+		}
+		orig := meta.TaskFor(tm.Entry.Name)
+		if orig == "" {
+			continue
+		}
+		if out.TaskStatus(orig) == dol.StatusCommitted && out.TaskStatus(tm.Name) != dol.StatusCommitted {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveryReport summarizes one journal recovery pass.
+type RecoveryReport struct {
+	// Multitransactions counts the journaled multitransactions that were
+	// not yet ended and so were examined.
+	Multitransactions int
+	// Resolved lists in-doubt participants driven to their logged
+	// decision (presumed abort when none was logged).
+	Resolved []Participant
+	// Unreachable lists participants that stayed unreachable; their
+	// multitransactions remain open in the journal for a later pass.
+	Unreachable []Participant
+	// CompRuns names the compensation tasks re-run by this pass.
+	CompRuns []string
+	// Compacted counts the fully-terminal multitransactions dropped from
+	// the journal.
+	Compacted int
+}
+
+// Recover replays the attached journal after a coordinator restart: it
+// drives every prepared participant without a terminal outcome to its
+// logged decision (re-attaching through wire.ReqAttach; tasks no commit
+// decision covers are presumed aborted), re-runs compensations still
+// owed for committed subqueries of aborted units, writes end records
+// for multitransactions that become fully terminal, and compacts the
+// journal. It is idempotent: a second pass over the same journal finds
+// nothing to do.
+func (f *Federation) Recover(ctx context.Context) (*RecoveryReport, error) {
+	j := f.Journal()
+	if j == nil {
+		return nil, errors.New("core: Recover requires a journal (SetJournal)")
+	}
+	states, err := j.States()
+	if err != nil {
+		return nil, err
+	}
+	rep := &RecoveryReport{}
+	for _, s := range states {
+		if s.Ended {
+			continue
+		}
+		rep.Multitransactions++
+		clean := true
+
+		// Prepared participants without a terminal outcome hold locks at
+		// their LAM: deliver the logged decision, presumed abort otherwise.
+		for task, prec := range s.Prepared {
+			if _, done := s.Outcomes[task]; done {
+				continue
+			}
+			commit, _ := s.DecisionFor(task)
+			if prec.Addr == "" {
+				// An in-process session died with the coordinator and was
+				// rolled back by its server; record the abort.
+				f.appendOutcome(s.MTID, task, mtlog.StatusAborted)
+				s.Outcomes[task] = mtlog.StatusAborted
+				continue
+			}
+			p := Participant{Addr: prec.Addr, SessionID: prec.SessionID, Commit: commit}
+			if d, ok := s.Decl(task); ok {
+				p.Entry, p.Database = d.Entry, d.Database
+			}
+			st, rerr := f.resolveParticipant(ctx, prec.Addr, prec.SessionID, commit)
+			if rerr != nil {
+				clean = false
+				rep.Unreachable = append(rep.Unreachable, p)
+				continue
+			}
+			u := mtlog.StatusAborted
+			if st == ldbms.StateCommitted {
+				u = mtlog.StatusCommitted
+			}
+			f.appendOutcome(s.MTID, task, u)
+			s.Outcomes[task] = u
+			rep.Resolved = append(rep.Resolved, p)
+		}
+
+		// Compensations owed: the unit went the abort way (no commit
+		// decision anywhere in it — a crash before the decision is the
+		// presumed-abort case) but an autocommit subquery had already
+		// committed and its compensation has not run to completion.
+		committedUnit := false
+		for _, dr := range s.Decisions {
+			if dr.Commit {
+				committedUnit = true
+			}
+		}
+		if s.Begin != nil && !committedUnit {
+			for _, d := range s.Begin.Tasks {
+				if !d.Comp || d.SQL == "" || d.ForTask == "" {
+					continue
+				}
+				if s.Outcomes[d.ForTask] != mtlog.StatusCommitted {
+					continue
+				}
+				if s.Outcomes[d.Name] == mtlog.StatusCommitted {
+					continue
+				}
+				if cerr := f.runComp(ctx, d); cerr != nil {
+					clean = false
+					continue
+				}
+				f.appendOutcome(s.MTID, d.Name, mtlog.StatusCommitted)
+				s.Outcomes[d.Name] = mtlog.StatusCommitted
+				rep.CompRuns = append(rep.CompRuns, d.Name)
+			}
+		}
+
+		if clean {
+			_ = j.Append(&mtlog.Record{Type: mtlog.TEnd, MTID: s.MTID, State: "recovered"})
+		}
+	}
+	dropped, err := j.Compact()
+	if err != nil {
+		return rep, err
+	}
+	rep.Compacted = dropped
+	return rep, nil
+}
+
+// appendOutcome journals a terminal status reached during recovery.
+func (f *Federation) appendOutcome(mtid uint64, task string, st uint8) {
+	_ = f.journal.Append(&mtlog.Record{Type: mtlog.TOutcome, MTID: mtid, Task: task, Status: st})
+}
+
+// resolveParticipant drives one in-doubt session to its decision under
+// the engine's recovery pacing.
+func (f *Federation) resolveParticipant(ctx context.Context, addr string, id int64, commit bool) (ldbms.SessionState, error) {
+	var last error
+	for attempt := 0; attempt <= f.engine.Recovery.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(f.engine.Recovery.Backoff(attempt)):
+			}
+		}
+		cctx, cancel := context.WithTimeout(ctx, f.engine.RecoverTimeout)
+		st, err := lam.Resolve(cctx, addr, id, commit)
+		cancel()
+		if err == nil {
+			return st, nil
+		}
+		last = err
+	}
+	return 0, last
+}
+
+// runComp replays one compensating subquery from its journal
+// declaration: open a session on the task's site, execute the deparsed
+// compensation, commit.
+func (f *Federation) runComp(ctx context.Context, d mtlog.TaskDecl) error {
+	site := d.Site
+	if site == "" {
+		site = f.siteOf(d.Database)
+	}
+	if site == "" {
+		return fmt.Errorf("core: no site for compensation %s", d.Name)
+	}
+	client, err := f.Resolve(site)
+	if err != nil {
+		return err
+	}
+	sess, err := client.Open(ctx, d.Database)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if _, err := sess.Exec(ctx, d.SQL); err != nil {
+		return err
+	}
+	return sess.Commit(ctx)
+}

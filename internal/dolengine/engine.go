@@ -95,6 +95,26 @@ func (o *Outcome) TaskStatus(name string) dol.TaskStatus {
 	return dol.StatusNotRun
 }
 
+// TxLog receives the engine's durable-coordinator notifications: which
+// participants entered the prepared-to-commit window, which
+// synchronization-point decisions were taken, and each task's terminal
+// outcome. A write-ahead journal (internal/mtlog, wired up by the core
+// layer) implements it; Decision must make the record durable before
+// returning, because the engine delivers the first COMMIT only after it
+// returns successfully.
+type TxLog interface {
+	// TaskPrepared records a participant in the prepared state together
+	// with its re-attach coordinates (empty addr = in-process session
+	// that cannot outlive the coordinator).
+	TaskPrepared(task, addr string, sessionID int64)
+	// Decision records the commit/rollback decision for a set of tasks.
+	// A commit decision that cannot be made durable must fail: the
+	// engine then aborts instead of delivering an unlogged commit.
+	Decision(commit bool, tasks []string) error
+	// TaskOutcome records a task's terminal status.
+	TaskOutcome(task string, st dol.TaskStatus)
+}
+
 // Engine executes DOL programs.
 type Engine struct {
 	dir Directory
@@ -119,11 +139,14 @@ func New(dir Directory) *Engine {
 	}
 }
 
-// conn is one open connection (session) with serialized task access.
+// conn is one open connection (session) with serialized task access. A
+// conn with a nil session and a non-nil openErr is a degraded stub for a
+// breaker-open site: its tasks fail with openErr instead of running.
 type conn struct {
 	mu      sync.Mutex
 	session lam.Session
 	db      string
+	openErr error
 }
 
 // taskRT is the runtime state of one task. deps are resolved at spawn
@@ -179,7 +202,32 @@ type run struct {
 	conns map[string]*conn
 	tasks map[string]*taskRT
 	out   *Outcome
+	log   TxLog // nil when the plan is not journaled
 	wg    sync.WaitGroup
+}
+
+// logPrepared notifies the journal of a prepared participant.
+func (r *run) logPrepared(rt *taskRT, sess lam.Session) {
+	if r.log == nil {
+		return
+	}
+	addr, id := "", int64(0)
+	if rec, ok := sess.(lam.Recoverable); ok {
+		addr, id = rec.RecoveryInfo()
+	}
+	r.log.TaskPrepared(rt.stmt.Name, addr, id)
+}
+
+// logOutcome notifies the journal of a task's terminal status.
+func (r *run) logOutcome(rt *taskRT) {
+	if r.log == nil {
+		return
+	}
+	st := rt.status()
+	switch st {
+	case dol.StatusCommitted, dol.StatusAborted, dol.StatusError:
+		r.log.TaskOutcome(rt.stmt.Name, st)
+	}
 }
 
 // Run executes a program to completion under ctx and returns its outcome.
@@ -191,12 +239,21 @@ type run struct {
 // recovery loop; the ones that stay unreachable are listed in
 // Outcome.Unresolved.
 func (e *Engine) Run(ctx context.Context, prog *dol.Program) (*Outcome, error) {
+	return e.RunLogged(ctx, prog, nil)
+}
+
+// RunLogged is Run with a durable-coordinator journal attached: the
+// engine reports prepared participants, synchronization-point decisions
+// (before delivering them — the write-ahead rule), and terminal task
+// outcomes through log. A nil log disables journaling.
+func (e *Engine) RunLogged(ctx context.Context, prog *dol.Program, log TxLog) (*Outcome, error) {
 	r := &run{
 		eng:   e,
 		ctx:   ctx,
 		conns: make(map[string]*conn),
 		tasks: make(map[string]*taskRT),
 		out:   &Outcome{Status: -1, Tasks: make(map[string]*TaskInfo)},
+		log:   log,
 	}
 	err := r.execStmts(prog.Stmts)
 	r.wg.Wait()
@@ -248,6 +305,7 @@ func (r *run) recoverInDoubt() {
 			} else {
 				rt.setStatus(dol.StatusAborted, nil)
 			}
+			r.logOutcome(rt)
 			resolved = true
 			break
 		}
@@ -261,10 +319,18 @@ func (r *run) recoverInDoubt() {
 }
 
 // recoveryOf extracts the in-doubt recovery handle of a session, looking
-// through wrappers that expose it by delegation.
+// through wrappers that expose it by delegation. Wrappers forward the
+// method unconditionally, so a handle with no re-attach address (an
+// in-process session) does not count as recoverable.
 func recoveryOf(s lam.Session) (lam.Recoverable, bool) {
 	rec, ok := s.(lam.Recoverable)
-	return rec, ok
+	if !ok {
+		return nil, false
+	}
+	if addr, _ := rec.RecoveryInfo(); addr == "" {
+		return nil, false
+	}
+	return rec, true
 }
 
 func (r *run) execStmts(stmts []dol.Stmt) error {
@@ -285,6 +351,14 @@ func (r *run) execStmt(s dol.Stmt) error {
 		}
 		sess, err := client.Open(r.ctx, st.Database)
 		if err != nil {
+			// A breaker-open site is degraded, not fatal to the whole
+			// plan: keep the connection as a stub that fails its tasks,
+			// so tasks on healthy sites still run and the caller can
+			// decide (per the vital set) whether partial results stand.
+			if errors.Is(err, lam.ErrBreakerOpen) {
+				r.conns[st.Alias] = &conn{db: st.Database, openErr: err}
+				return nil
+			}
 			return fmt.Errorf("dolengine: open %s at %s: %w", st.Database, st.Site, err)
 		}
 		r.conns[st.Alias] = &conn{session: sess, db: st.Database}
@@ -343,6 +417,24 @@ func (r *run) execStmt(s dol.Stmt) error {
 		return r.execStmts(st.Else)
 
 	case *dol.CommitStmt:
+		// All named tasks must settle before the decision is journaled,
+		// so every prepared record precedes the decision record.
+		for _, name := range st.Tasks {
+			if err := r.waitTask(name); err != nil {
+				return err
+			}
+		}
+		if r.log != nil {
+			if err := r.log.Decision(true, st.Tasks); err != nil {
+				// The write-ahead rule: a commit decision that is not on
+				// stable storage must never be delivered. Abort the named
+				// tasks — presumed abort keeps that safe without a log.
+				for _, name := range st.Tasks {
+					_ = r.abortTask(name)
+				}
+				return fmt.Errorf("dolengine: commit decision not durable: %w", err)
+			}
+		}
 		for _, name := range st.Tasks {
 			if err := r.commitTask(name); err != nil {
 				return err
@@ -351,6 +443,17 @@ func (r *run) execStmt(s dol.Stmt) error {
 		return nil
 
 	case *dol.AbortStmt:
+		for _, name := range st.Tasks {
+			if err := r.waitTask(name); err != nil {
+				return err
+			}
+		}
+		if r.log != nil {
+			// Presumed abort: recovery rolls back any task without a
+			// logged commit decision, so a failed abort record is safe
+			// to ignore.
+			_ = r.log.Decision(false, st.Tasks)
+		}
 		for _, name := range st.Tasks {
 			if err := r.abortTask(name); err != nil {
 				return err
@@ -402,13 +505,19 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.session == nil {
-		rt.setStatus(dol.StatusError, fmt.Errorf("dolengine: connection %s closed", rt.stmt.Conn))
+		err := c.openErr
+		if err == nil {
+			err = fmt.Errorf("dolengine: connection %s closed", rt.stmt.Conn)
+		}
+		rt.setStatus(dol.StatusError, err)
+		r.logOutcome(rt)
 		return
 	}
 	for _, stmt := range rt.stmt.Body {
 		res, err := c.session.Exec(r.ctx, sqlparser.Deparse(stmt))
 		if err != nil {
 			rt.setStatus(dol.StatusAborted, err)
+			r.logOutcome(rt)
 			return
 		}
 		rt.mu.Lock()
@@ -432,16 +541,20 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 				return
 			}
 			rt.setStatus(dol.StatusAborted, err)
+			r.logOutcome(rt)
 			return
 		}
 		rt.setStatus(dol.StatusPrepared, nil)
+		r.logPrepared(rt, c.session)
 		return
 	}
 	if err := c.session.Commit(r.ctx); err != nil {
 		rt.setStatus(dol.StatusAborted, err)
+		r.logOutcome(rt)
 		return
 	}
 	rt.setStatus(dol.StatusCommitted, nil)
+	r.logOutcome(rt)
 }
 
 func (r *run) waitTask(name string) error {
@@ -469,6 +582,7 @@ func (r *run) commitTask(name string) error {
 	defer c.mu.Unlock()
 	if c.session == nil {
 		t.setStatus(dol.StatusError, fmt.Errorf("dolengine: connection %s closed before commit", t.stmt.Conn))
+		r.logOutcome(t)
 		return nil
 	}
 	if err := c.session.Commit(r.ctx); err != nil {
@@ -480,9 +594,11 @@ func (r *run) commitTask(name string) error {
 			return nil
 		}
 		t.setStatus(dol.StatusAborted, err)
+		r.logOutcome(t)
 		return nil
 	}
 	t.setStatus(dol.StatusCommitted, nil)
+	r.logOutcome(t)
 	return nil
 }
 
@@ -510,9 +626,11 @@ func (r *run) abortTask(name string) error {
 			return nil
 		}
 		t.setStatus(dol.StatusError, err)
+		r.logOutcome(t)
 		return nil
 	}
 	t.setStatus(dol.StatusAborted, nil)
+	r.logOutcome(t)
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"msql/internal/dol"
 	"msql/internal/lam"
 	"msql/internal/ldbms"
+	"msql/internal/netfault"
 	"msql/internal/relstore"
 	"msql/internal/sqlengine"
 )
@@ -217,6 +218,104 @@ func TestPrepareTransportFailureRecoversToAborted(t *testing.T) {
 	}
 	if out.Status != 1 {
 		t.Fatalf("DOLSTATUS = %d, want 1 (abort branch)", out.Status)
+	}
+}
+
+// TestReplayedCommitReturnsRecordedOutcome covers the lost-ack replay: a
+// coordinator that crashes after its COMMIT reached the LAM but before
+// the acknowledged outcome hit its journal re-delivers the same decision
+// on recovery. The LAM's outcome tombstone must answer the replay with
+// the recorded terminal state — not an "unknown session" error, and
+// without applying the commit a second time.
+func TestReplayedCommitReturnsRecordedOutcome(t *testing.T) {
+	srv := ldbms.NewServer("svc", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("db"); err != nil {
+		t.Fatal(err)
+	}
+	seed, err := srv.OpenSession("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"CREATE TABLE t (x INTEGER)", "INSERT INTO t VALUES (1)"} {
+		if _, err := seed.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Commit()
+	seed.Close()
+
+	ts, err := lam.Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	proxy, err := netfault.New(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	ctx := context.Background()
+	c, err := lam.DialWith(ctx, proxy.Addr(), lam.DialOptions{
+		CallTimeout: 2 * time.Second,
+		Retry:       lam.RetryPolicy{Attempts: 0, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open(ctx, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "UPDATE t SET x = x + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, id := sess.(lam.Recoverable).RecoveryInfo()
+	proxy.Sever() // coordinator dies in the prepared-to-commit window
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ids := ts.InDoubt(); len(ids) == 1 && ids[0] == id {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %d never parked; in-doubt = %v", id, ts.InDoubt())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// First delivery drives the parked session to commit.
+	st, err := lam.Resolve(ctx, proxy.Addr(), id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("first resolve state = %v, want committed", st)
+	}
+	// The replay (the first ack was lost) answers from the tombstone.
+	st, err = lam.Resolve(ctx, proxy.Addr(), id, true)
+	if err != nil {
+		t.Fatalf("replayed commit errored: %v", err)
+	}
+	if st != ldbms.StateCommitted {
+		t.Fatalf("replayed resolve state = %v, want the recorded committed outcome", st)
+	}
+
+	// The update applied exactly once.
+	check, err := srv.OpenSession("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	res, err := check.Exec("SELECT x FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := res.Rows[0][0].AsFloat(); f != 2 {
+		t.Fatalf("x = %v, want 2 (committed once, replay must not re-apply)", f)
 	}
 }
 

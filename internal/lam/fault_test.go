@@ -428,3 +428,43 @@ func TestServerCloseRecordsOutcomesForParked(t *testing.T) {
 	}
 	_ = id
 }
+
+func TestCleanDisconnectLeavesNoConnErrors(t *testing.T) {
+	ts, p := deltaProxy(t)
+
+	// A well-behaved client: dial, work, close the session, hang up.
+	c, err := DialWith(bg, p.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Open(bg, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(bg, "SELECT rate FROM flight WHERE fnu = 10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server notices the hangup as EOF (or a close race) — a benign
+	// close, never a recorded connection error.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ts.InDoubt()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the conn loop wind down
+	if errs := ts.ConnErrors(); len(errs) != 0 {
+		t.Fatalf("clean disconnect recorded conn errors: %v", errs)
+	}
+
+	// Shutdown with no live connections is just as quiet.
+	ts.Close()
+	if errs := ts.ConnErrors(); len(errs) != 0 {
+		t.Fatalf("server close recorded conn errors: %v", errs)
+	}
+}

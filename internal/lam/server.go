@@ -3,7 +3,6 @@ package lam
 import (
 	"encoding/gob"
 	"errors"
-	"io"
 	"net"
 	"sync"
 
@@ -36,6 +35,9 @@ type TCPServer struct {
 	nextID   int64
 	detached map[int64]*ldbms.Session     // prepared sessions orphaned by connection loss
 	outcomes map[int64]ldbms.SessionState // terminal states of once-prepared sessions
+
+	errMu    sync.Mutex
+	connErrs []error // non-benign connection errors (see ConnErrors)
 }
 
 // Serve starts serving srv on a fresh listener at addr (use "127.0.0.1:0"
@@ -188,16 +190,49 @@ func (t *TCPServer) handle(conn net.Conn) {
 	for {
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				return
-			}
+			// A client hanging up between requests (EOF, reset, or our own
+			// shutdown closing the socket under the read) is the normal end
+			// of a connection's life, not an error. Only genuinely abnormal
+			// failures — a frame torn mid-message, undecodable bytes — are
+			// recorded.
+			t.noteConnErr(err)
 			return
 		}
 		resp := t.dispatch(&req, cs)
 		if err := enc.Encode(resp); err != nil {
+			t.noteConnErr(err)
 			return
 		}
 	}
+}
+
+// noteConnErr records a connection-loop failure unless it is a benign
+// close or the race of a clean server shutdown against an in-flight
+// read.
+func (t *TCPServer) noteConnErr(err error) {
+	if wire.BenignClose(err) {
+		return
+	}
+	t.mu.Lock()
+	closing := t.closed
+	t.mu.Unlock()
+	if closing {
+		// Shutdown severs client connections mid-frame by design; the
+		// resulting decode errors are expected.
+		return
+	}
+	t.errMu.Lock()
+	t.connErrs = append(t.connErrs, err)
+	t.errMu.Unlock()
+}
+
+// ConnErrors returns the non-benign connection-loop errors seen so far
+// (for tests and operational monitoring). Ordinary disconnects never
+// appear here.
+func (t *TCPServer) ConnErrors() []error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return append([]error(nil), t.connErrs...)
 }
 
 func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {

@@ -1,0 +1,288 @@
+package mtlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only multitransaction log on one file. Appends
+// are serialized; records that carry a 2PC obligation (TPrepared,
+// TDecision) are fsynced before Append returns, so the write-ahead rule
+// — the decision is durable before the first COMMIT is delivered —
+// holds across power loss, and every prepared participant the
+// coordinator might strand is findable after a restart.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	nextID uint64
+	closed bool
+}
+
+// Open opens (creating if needed) the journal at path, validates its
+// contents, and truncates any torn tail left by a crashed append so new
+// records land on a valid prefix. Corruption beyond a torn tail is
+// handled the same way: the valid prefix is kept, the rest dropped.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	recs, validEnd, derr := DecodeAll(data)
+	if derr != nil {
+		if terr := f.Truncate(int64(validEnd)); terr != nil {
+			f.Close()
+			return nil, terr
+		}
+	}
+	if _, err := f.Seek(int64(validEnd), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, nextID: 1}
+	for _, r := range recs {
+		if r.MTID >= j.nextID {
+			j.nextID = r.MTID + 1
+		}
+	}
+	return j, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// NextID allocates a fresh multitransaction id, unique across restarts
+// of the same journal file.
+func (j *Journal) NextID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextID
+	j.nextID++
+	return id
+}
+
+// Append writes one record. TPrepared and TDecision records are forced
+// to stable storage before Append returns; an fsync also makes every
+// earlier record durable, so a synced decision implies its
+// multitransaction's begin and prepared records are on disk too.
+func (j *Journal) Append(rec *Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("mtlog: journal closed")
+	}
+	buf, err := appendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if rec.Type == TPrepared || rec.Type == TDecision {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Records returns every record currently in the journal (its valid
+// prefix).
+func (j *Journal) Records() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recordsLocked()
+}
+
+func (j *Journal) recordsLocked() ([]Record, error) {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _ := DecodeAll(data)
+	return recs, nil
+}
+
+// Compact rewrites the journal keeping only multitransactions that have
+// not ended — the fully-terminal ones carry no recovery obligation. The
+// rewrite goes through a temp file and rename so a crash mid-compaction
+// leaves either the old or the new journal, never a mix.
+func (j *Journal) Compact() (dropped int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, errors.New("mtlog: journal closed")
+	}
+	recs, err := j.recordsLocked()
+	if err != nil {
+		return 0, err
+	}
+	ended := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Type == TEnd {
+			ended[r.MTID] = true
+		}
+	}
+	var buf []byte
+	for i := range recs {
+		if ended[recs[i].MTID] {
+			continue
+		}
+		if buf, err = appendRecord(buf, &recs[i]); err != nil {
+			return 0, err
+		}
+	}
+	tmp := j.path + ".compact"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, err
+	}
+	nf, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	if _, err := nf.Seek(int64(len(buf)), 0); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	old := j.f
+	j.f = nf
+	old.Close()
+	return len(ended), nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// TxState is the reconstructed state of one multitransaction.
+type TxState struct {
+	MTID  uint64
+	Begin *Record
+	// Prepared maps task names to their prepared records.
+	Prepared map[string]*Record
+	// Decisions in append order.
+	Decisions []*Record
+	// Outcomes maps task names to terminal statuses.
+	Outcomes map[string]uint8
+	Ended    bool
+	EndState string
+}
+
+// DecisionFor reports the logged synchronization-point decision for a
+// task. A task no decision record covers falls under presumed abort:
+// decided is false and the caller must roll it back.
+func (s *TxState) DecisionFor(task string) (commit, decided bool) {
+	for _, d := range s.Decisions {
+		for _, t := range d.Decided {
+			if t == task {
+				return d.Commit, true
+			}
+		}
+	}
+	return false, false
+}
+
+// Decl returns the begin-record declaration of a task.
+func (s *TxState) Decl(task string) (TaskDecl, bool) {
+	if s.Begin == nil {
+		return TaskDecl{}, false
+	}
+	for _, d := range s.Begin.Tasks {
+		if d.Name == task {
+			return d, true
+		}
+	}
+	return TaskDecl{}, false
+}
+
+// Reconstruct folds a record sequence into per-multitransaction states,
+// returned in first-appearance order.
+func Reconstruct(recs []Record) []*TxState {
+	byID := map[uint64]*TxState{}
+	var order []*TxState
+	get := func(id uint64) *TxState {
+		if s, ok := byID[id]; ok {
+			return s
+		}
+		s := &TxState{MTID: id, Prepared: map[string]*Record{}, Outcomes: map[string]uint8{}}
+		byID[id] = s
+		order = append(order, s)
+		return s
+	}
+	for i := range recs {
+		r := &recs[i]
+		s := get(r.MTID)
+		switch r.Type {
+		case TBegin:
+			s.Begin = r
+		case TPrepared:
+			s.Prepared[r.Task] = r
+		case TDecision:
+			s.Decisions = append(s.Decisions, r)
+		case TOutcome:
+			s.Outcomes[r.Task] = r.Status
+		case TEnd:
+			s.Ended = true
+			s.EndState = r.State
+		}
+	}
+	return order
+}
+
+// States reads and reconstructs the journal's multitransactions.
+func (j *Journal) States() ([]*TxState, error) {
+	recs, err := j.Records()
+	if err != nil {
+		return nil, err
+	}
+	return Reconstruct(recs), nil
+}
+
+// String renders a record for logs and debugging.
+func (r *Record) String() string {
+	switch r.Type {
+	case TBegin:
+		return fmt.Sprintf("mt%d begin %s (%d tasks)", r.MTID, r.Kind, len(r.Tasks))
+	case TPrepared:
+		return fmt.Sprintf("mt%d prepared %s sid=%d at %s", r.MTID, r.Task, r.SessionID, r.Addr)
+	case TDecision:
+		verb := "rollback"
+		if r.Commit {
+			verb = "commit"
+		}
+		return fmt.Sprintf("mt%d decision %s %v", r.MTID, verb, r.Decided)
+	case TOutcome:
+		return fmt.Sprintf("mt%d outcome %s=%d", r.MTID, r.Task, r.Status)
+	case TEnd:
+		return fmt.Sprintf("mt%d end %s", r.MTID, r.State)
+	default:
+		return fmt.Sprintf("mt%d %s", r.MTID, r.Type)
+	}
+}

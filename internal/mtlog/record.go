@@ -1,0 +1,227 @@
+// Package mtlog implements the coordinator's write-ahead
+// multitransaction journal: an append-only, checksummed log of
+// multitransaction execution that makes the paper's flexible-transaction
+// guarantees (vital sets, compensation, acceptable termination states)
+// survive a coordinator crash. The journal records, per
+// multitransaction: a begin record carrying the plan's task topology
+// (which tasks are vital, which are compensations and their SQL), a
+// prepared record for every participant that entered the
+// prepared-to-commit window (with the LAM address and server-side
+// session id needed to re-attach), the global commit/rollback decision
+// (forced to stable storage before any commit is delivered — the
+// write-ahead rule), per-task terminal outcomes, and an end record once
+// the multitransaction is fully terminal.
+//
+// Record framing on disk:
+//
+//	+-------+------+----------+----------+-----------------+
+//	| magic | type | len (4B) | crc (4B) | payload (JSON)  |
+//	+-------+------+----------+----------+-----------------+
+//
+// The CRC32 (IEEE) covers the type byte, the length field, and the
+// payload, so a bit flip anywhere in a record is detected. The decoder
+// never trusts the tail of the file: a truncated record, a checksum
+// mismatch, or trailing garbage ends the scan at the last valid record
+// (the "valid prefix"), which is exactly the recovery semantics a
+// crashed append needs.
+package mtlog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// recMagic starts every record frame.
+const recMagic byte = 0xD7
+
+// maxPayload caps one record's payload so a corrupted length field
+// cannot make the decoder allocate gigabytes.
+const maxPayload = 1 << 20
+
+// ErrCorrupt marks a journal whose tail failed validation; the records
+// decoded before the corruption are still valid.
+var ErrCorrupt = errors.New("mtlog: corrupt record")
+
+// Type identifies a journal record.
+type Type uint8
+
+// Record types.
+const (
+	// TBegin opens a multitransaction: it carries the task topology the
+	// recovery pass needs (vital entries, compensation SQL).
+	TBegin Type = iota + 1
+	// TPrepared records one participant entering the prepared-to-commit
+	// window, with its re-attach coordinates.
+	TPrepared
+	// TDecision is the global synchronization-point decision for a set
+	// of tasks. It is forced to stable storage before the first COMMIT
+	// is delivered.
+	TDecision
+	// TOutcome records one task's terminal status.
+	TOutcome
+	// TEnd closes a multitransaction: every task is terminal and every
+	// pending compensation ran. Ended multitransactions are dropped at
+	// the next compaction.
+	TEnd
+)
+
+func (t Type) String() string {
+	switch t {
+	case TBegin:
+		return "begin"
+	case TPrepared:
+		return "prepared"
+	case TDecision:
+		return "decision"
+	case TOutcome:
+		return "outcome"
+	case TEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Task statuses recorded in TOutcome records. The values mirror
+// dol.TaskStatus but are fixed here so journal files stay readable even
+// if the engine's enum is reordered.
+const (
+	StatusCommitted uint8 = 3
+	StatusAborted   uint8 = 4
+	StatusError     uint8 = 5
+)
+
+// TaskDecl declares one task of a multitransaction plan in the begin
+// record: enough to map journal records back to scope entries and to
+// re-run a compensation from the journal alone.
+type TaskDecl struct {
+	Name     string `json:"name"`
+	Entry    string `json:"entry,omitempty"`
+	Database string `json:"db,omitempty"`
+	// Site is the service site (address or in-process service name),
+	// needed to reopen a connection for compensation re-runs.
+	Site  string `json:"site,omitempty"`
+	Vital bool   `json:"vital,omitempty"`
+	// Comp marks a compensation task; ForTask names the original task it
+	// undoes and SQL is the deparsed compensating statement.
+	Comp    bool   `json:"comp,omitempty"`
+	ForTask string `json:"for,omitempty"`
+	SQL     string `json:"sql,omitempty"`
+}
+
+// Record is one journal entry. It is a tagged union: which fields are
+// meaningful depends on Type.
+type Record struct {
+	Type Type   `json:"t"`
+	MTID uint64 `json:"mt"`
+
+	// TBegin
+	Kind  string     `json:"kind,omitempty"` // sync | dml | multitx
+	Tasks []TaskDecl `json:"tasks,omitempty"`
+
+	// TPrepared, TOutcome
+	Task string `json:"task,omitempty"`
+
+	// TPrepared: where a recovering coordinator re-attaches. An empty
+	// Addr means the session was in-process and died with the
+	// coordinator; it cannot be re-attached.
+	Addr      string `json:"addr,omitempty"`
+	SessionID int64  `json:"sid,omitempty"`
+
+	// TDecision
+	Commit  bool     `json:"commit,omitempty"`
+	Decided []string `json:"decided,omitempty"`
+	// TOutcome
+	Status uint8 `json:"status,omitempty"`
+
+	// TEnd
+	State string `json:"state,omitempty"`
+}
+
+// appendRecord encodes one record frame onto buf.
+func appendRecord(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, err
+	}
+	if len(payload) > maxPayload {
+		return buf, fmt.Errorf("mtlog: record payload %d exceeds %d bytes", len(payload), maxPayload)
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{byte(rec.Type)})
+	crc.Write(lenb[:])
+	crc.Write(payload)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc.Sum32())
+
+	buf = append(buf, recMagic, byte(rec.Type))
+	buf = append(buf, lenb[:]...)
+	buf = append(buf, crcb[:]...)
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// DecodeAll scans data and returns every record of its valid prefix
+// together with the byte offset where the prefix ends. A clean end of
+// input returns a nil error; truncation, checksum mismatch, or garbage
+// returns the records decoded so far with an error wrapping ErrCorrupt.
+// DecodeAll never panics on malformed input.
+func DecodeAll(data []byte) (recs []Record, validEnd int, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 10 {
+			// A partial header is a torn append, not corruption worth
+			// reporting — unless it does not even start with the magic.
+			if rest[0] != recMagic {
+				return recs, off, fmt.Errorf("%w: garbage at offset %d", ErrCorrupt, off)
+			}
+			return recs, off, fmt.Errorf("%w: truncated header at offset %d", ErrCorrupt, off)
+		}
+		if rest[0] != recMagic {
+			return recs, off, fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, off)
+		}
+		typ := rest[1]
+		n := binary.LittleEndian.Uint32(rest[2:6])
+		want := binary.LittleEndian.Uint32(rest[6:10])
+		if n > maxPayload {
+			return recs, off, fmt.Errorf("%w: implausible length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if len(rest) < 10+int(n) {
+			return recs, off, fmt.Errorf("%w: truncated payload at offset %d", ErrCorrupt, off)
+		}
+		payload := rest[10 : 10+int(n)]
+		crc := crc32.NewIEEE()
+		crc.Write(rest[1:6]) // type byte + length field
+		crc.Write(payload)
+		if crc.Sum32() != want {
+			return recs, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		var rec Record
+		if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+			return recs, off, fmt.Errorf("%w: undecodable payload at offset %d: %v", ErrCorrupt, off, uerr)
+		}
+		if rec.Type != Type(typ) {
+			return recs, off, fmt.Errorf("%w: frame/payload type mismatch at offset %d", ErrCorrupt, off)
+		}
+		recs = append(recs, rec)
+		off += 10 + int(n)
+	}
+	return recs, off, nil
+}
+
+// ReadAll decodes every record of r's valid prefix.
+func ReadAll(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, derr := DecodeAll(data)
+	return recs, derr
+}

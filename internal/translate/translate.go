@@ -240,7 +240,7 @@ func (b *planBuilder) compTaskStmt(entry semvar.ScopeEntry, stmtIdx int, body sq
 	name := "C" + strconv.Itoa(b.nComps)
 	task := &dol.TaskStmt{Name: name, Conn: entry.Name, Body: []sqlparser.Statement{body}}
 	b.meta.Tasks = append(b.meta.Tasks, TaskMeta{
-		Name: name, Entry: entry, Role: RoleComp, StmtIndex: stmtIdx, Comp: true,
+		Name: name, Entry: entry, Role: RoleComp, StmtIndex: stmtIdx, Comp: true, Stmt: body,
 	})
 	return task
 }

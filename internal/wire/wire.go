@@ -210,6 +210,32 @@ type Response struct {
 // Err returns the decoded error of the response.
 func (r *Response) Err() error { return DecodeError(r.ErrCode, r.ErrMsg) }
 
+// BenignClose reports whether an error is the ordinary signature of a
+// peer closing its connection — EOF at a message boundary, a reset or
+// aborted socket, or a read on a locally closed listener/conn during
+// shutdown. Server request loops see these constantly when clients
+// disconnect or a shutdown races an in-flight read; they are part of
+// normal connection lifecycle and must not surface as errors in logs or
+// tests. A torn message (io.ErrUnexpectedEOF) is NOT benign: the peer
+// died mid-frame, which matters to whoever was decoding it.
+func BenignClose(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return false
+	}
+	switch {
+	case errors.Is(err, io.EOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	return false
+}
+
 // Transient reports whether an error is a transport-level failure whose
 // outcome at the server is unknown (timeout, severed or refused
 // connection, torn gob stream). Transient errors may be retried on the

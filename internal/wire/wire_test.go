@@ -143,6 +143,35 @@ func TestTransientClassification(t *testing.T) {
 	}
 }
 
+func TestBenignCloseClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		// The ways a peer hanging up cleanly (or our own shutdown racing a
+		// reader) surfaces on a server loop.
+		{"nil", nil, true},
+		{"eof", io.EOF, true},
+		{"net-closed", net.ErrClosed, true},
+		{"conn-reset", syscall.ECONNRESET, true},
+		{"conn-aborted", syscall.ECONNABORTED, true},
+		{"epipe", syscall.EPIPE, true},
+		{"wrapped-reset", fmt.Errorf("read: %w", syscall.ECONNRESET), true},
+		{"op-error-reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		// A stream cut mid-message is data loss, never benign.
+		{"unexpected-eof", io.ErrUnexpectedEOF, false},
+		{"wrapped-unexpected-eof", fmt.Errorf("decode: %w", io.ErrUnexpectedEOF), false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"plain", errors.New("gob: type mismatch"), false},
+	}
+	for _, c := range cases {
+		if got := BenignClose(c.err); got != c.want {
+			t.Errorf("BenignClose(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestTransientTimeoutInterface(t *testing.T) {
 	// Any net.Error reporting Timeout() is transient, e.g. the error an
 	// expired conn deadline produces.
