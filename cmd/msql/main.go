@@ -34,6 +34,7 @@ import (
 	"msql/internal/dol"
 	"msql/internal/lam"
 	"msql/internal/mtlog"
+	"msql/internal/obs"
 	"msql/internal/translate"
 )
 
@@ -53,6 +54,8 @@ func realMain() int {
 		journalPath = flag.String("journal", "", "write-ahead multitransaction journal file: replayed at start, appended during the session, closed at exit")
 		breakerN    = flag.Int("breaker-threshold", 0, "consecutive transient failures that open a site's circuit breaker (0 disables breakers)")
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open trial")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+		showTrace   = flag.Bool("trace", false, "print the per-task timing tree of each executed script")
 	)
 	var execs multiFlag
 	flag.Var(&execs, "e", "MSQL statement to execute (repeatable)")
@@ -65,6 +68,15 @@ func realMain() int {
 	}
 	if *breakerN > 0 {
 		fed.SetBreaker(lam.BreakerPolicy{Threshold: *breakerN, Cooldown: *breakerCool})
+	}
+	if *debugAddr != "" {
+		ln, err := obs.Serve(*debugAddr, obs.Default(), obs.DefaultTracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug: http://%s/ — /metrics, /debug/traces, /debug/vars, /debug/pprof\n", ln.Addr())
 	}
 	if *stateDir != "" {
 		if err := loadState(fed, *stateDir); err != nil {
@@ -108,7 +120,7 @@ func realMain() int {
 	fed.SetDrain(drain)
 
 	run := func(src string) bool {
-		return runSource(fed, src, *showDOL, os.Stdout, os.Stderr)
+		return runSource(fed, src, *showDOL, *showTrace, os.Stdout, os.Stderr)
 	}
 
 	switch {
@@ -126,7 +138,7 @@ func realMain() int {
 			return 1
 		}
 	default:
-		repl(fed, *showDOL, drain)
+		repl(fed, *showDOL, *showTrace, drain)
 	}
 	return 0
 }
@@ -161,7 +173,7 @@ func printRecovery(w io.Writer, rep *core.RecoveryReport) {
 // aborting is the requested outcome, not a failure), or a
 // multitransaction that reached no acceptable state. Script mode exits
 // nonzero on failure so msql -f works in pipelines and CI.
-func runSource(fed *core.Federation, src string, showDOL bool, out, errw io.Writer) bool {
+func runSource(fed *core.Federation, src string, showDOL, showTrace bool, out, errw io.Writer) bool {
 	results, err := fed.ExecScript(src)
 	ok := true
 	for _, r := range results {
@@ -169,6 +181,9 @@ func runSource(fed *core.Federation, src string, showDOL bool, out, errw io.Writ
 		if scriptFailed(r) {
 			ok = false
 		}
+	}
+	if showTrace {
+		printTraceTree(fed, results, out)
 	}
 	if errors.Is(err, core.ErrDrained) {
 		fmt.Fprintln(errw, "drained: remaining statements skipped")
@@ -179,6 +194,22 @@ func runSource(fed *core.Federation, src string, showDOL bool, out, errw io.Writ
 		return false
 	}
 	return ok
+}
+
+// printTraceTree renders the timing tree of the trace the script's
+// results belong to (every result of one ExecScript call shares one
+// trace).
+func printTraceTree(fed *core.Federation, results []*core.Result, w io.Writer) {
+	if fed.Tracer == nil || len(results) == 0 {
+		return
+	}
+	id := results[len(results)-1].TraceID
+	if id == "" {
+		return
+	}
+	if ts := fed.Tracer.ByID(id); ts != nil {
+		fmt.Fprint(w, obs.FormatTrace(ts))
+	}
 }
 
 // scriptFailed classifies one result as a failure for script-mode exit
@@ -204,9 +235,9 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
-func repl(fed *core.Federation, showDOL bool, drain <-chan struct{}) {
+func repl(fed *core.Federation, showDOL, showTrace bool, drain <-chan struct{}) {
 	fmt.Println("Extended MSQL shell — demo federation: continental delta united avis national")
-	fmt.Println("End statements with ';' or an empty line; .dol on|off, .gdd, .services, .quit")
+	fmt.Println("End statements with ';' or an empty line; .dol on|off, .trace on|off, .gdd, .services, .quit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var buf strings.Builder
@@ -235,6 +266,9 @@ func repl(fed *core.Federation, showDOL bool, drain <-chan struct{}) {
 		for _, r := range results {
 			printResult(os.Stdout, r, showDOL)
 		}
+		if showTrace {
+			printTraceTree(fed, results, os.Stdout)
+		}
 		if errors.Is(err, core.ErrDrained) {
 			fmt.Fprintln(os.Stderr, "drained")
 		} else if err != nil {
@@ -252,6 +286,10 @@ func repl(fed *core.Federation, showDOL bool, drain <-chan struct{}) {
 			showDOL = true
 		case trimmed == ".dol off":
 			showDOL = false
+		case trimmed == ".trace on":
+			showTrace = true
+		case trimmed == ".trace off":
+			showTrace = false
 		case trimmed == ".gdd":
 			printGDD(os.Stdout, fed)
 		case trimmed == ".services":
@@ -291,6 +329,11 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 		if r.Multitable != nil {
 			fmt.Fprint(w, r.Multitable.Format())
 		}
+		// A partial answer is only honest when it says what is missing:
+		// name each degraded entry and why its site was skipped.
+		for _, d := range r.Degraded {
+			fmt.Fprintf(w, "  degraded: %s omitted — %s\n", d.Entry, d.Reason)
+		}
 	case core.KindSync, core.KindGlobalDML:
 		fmt.Fprintf(w, "global state: %s (DOLSTATUS=%d)\n", r.State, r.Status)
 		for _, name := range sortedTaskNames(r) {
@@ -299,12 +342,15 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 		for _, c := range r.Compensated {
 			fmt.Fprintf(w, "  %-14s compensated\n", c)
 		}
+		for _, d := range r.Degraded {
+			fmt.Fprintf(w, "  degraded: %s — %s\n", d.Entry, d.Reason)
+		}
 		for _, p := range r.Unresolved {
 			decision := "rollback"
 			if p.Commit {
 				decision = "commit"
 			}
-			fmt.Fprintf(w, "  in-doubt: %s session %d at %s — resolve to %s\n", p.Entry, p.SessionID, p.Addr, decision)
+			fmt.Fprintf(w, "  in-doubt: %s (db %s) session %d at %s — resolve to %s\n", p.Entry, p.Database, p.SessionID, p.Addr, decision)
 		}
 	case core.KindMultiTx:
 		if r.AchievedState != nil {
@@ -315,6 +361,13 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 		}
 		for _, name := range sortedTaskNames(r) {
 			fmt.Fprintf(w, "  %-14s %s\n", name, r.TaskStates[name])
+		}
+		for _, p := range r.Unresolved {
+			decision := "rollback"
+			if p.Commit {
+				decision = "commit"
+			}
+			fmt.Fprintf(w, "  in-doubt: %s (db %s) session %d at %s — resolve to %s\n", p.Entry, p.Database, p.SessionID, p.Addr, decision)
 		}
 	case core.KindIncorporate:
 		fmt.Fprintln(w, "service incorporated")

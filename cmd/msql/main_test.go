@@ -107,7 +107,7 @@ func TestRunSourceExitStatus(t *testing.T) {
 	t.Run("success", func(t *testing.T) {
 		fed := build()
 		var out, errw strings.Builder
-		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, &out, &errw) {
+		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, false, &out, &errw) {
 			t.Fatalf("script should succeed; stderr: %s", errw.String())
 		}
 	})
@@ -115,7 +115,7 @@ func TestRunSourceExitStatus(t *testing.T) {
 	t.Run("parse error fails", func(t *testing.T) {
 		fed := build()
 		var out, errw strings.Builder
-		if runSource(fed, "NOT A STATEMENT", false, &out, &errw) {
+		if runSource(fed, "NOT A STATEMENT", false, false, &out, &errw) {
 			t.Fatal("malformed script should fail")
 		}
 		if !strings.Contains(errw.String(), "error:") {
@@ -127,7 +127,7 @@ func TestRunSourceExitStatus(t *testing.T) {
 		fed := build()
 		fed.Server("svc_avis").Faults().Add(ldbms.FaultRule{Op: ldbms.FaultPrepare})
 		var out, errw strings.Builder
-		if runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, &out, &errw) {
+		if runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nCOMMIT", false, false, &out, &errw) {
 			t.Fatalf("aborted vital unit should fail script; output:\n%s", out.String())
 		}
 		if !strings.Contains(out.String(), "global state: aborted") {
@@ -138,7 +138,7 @@ func TestRunSourceExitStatus(t *testing.T) {
 	t.Run("explicit rollback is not a failure", func(t *testing.T) {
 		fed := build()
 		var out, errw strings.Builder
-		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nROLLBACK", false, &out, &errw) {
+		if !runSource(fed, "USE avis VITAL\nUPDATE cars SET rate = rate + 1 WHERE code = 1\nROLLBACK", false, false, &out, &errw) {
 			t.Fatalf("requested rollback should not fail the script; output:\n%s%s", out.String(), errw.String())
 		}
 	})

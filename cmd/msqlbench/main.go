@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +19,27 @@ import (
 	"time"
 
 	"msql/internal/experiments"
+	"msql/internal/obs"
 )
+
+// report is the machine-readable form of one msqlbench run, written as
+// BENCH_obs.json: every experiment table plus a snapshot of the process's
+// federation metrics (the sites here are in-process, but the counters and
+// latency histograms accumulate all the same).
+type report struct {
+	GeneratedAt string               `json:"generated_at"`
+	Quick       bool                 `json:"quick"`
+	Only        string               `json:"only,omitempty"`
+	Experiments []*experiments.Table `json:"experiments"`
+	Listings    map[string]string    `json:"listings,omitempty"`
+	Metrics     map[string]any       `json:"metrics"`
+}
 
 func main() {
 	var (
-		only  = flag.String("only", "", "run a single experiment (E1..E5, F1, F2, B1..B8)")
-		quick = flag.Bool("quick", false, "reduced sizes for a fast pass")
+		only     = flag.String("only", "", "run a single experiment (E1..E5, F1, F2, B1..B8)")
+		quick    = flag.Bool("quick", false, "reduced sizes for a fast pass")
+		jsonPath = flag.String("json", "BENCH_obs.json", "write experiment tables and a metrics snapshot to this JSON file (empty disables)")
 	)
 	flag.Parse()
 
@@ -46,10 +62,12 @@ func main() {
 		id  string
 		run func() error
 	}
+	rep := &report{Quick: *quick, Only: *only, Listings: make(map[string]string)}
 	printTable := func(t *experiments.Table, err error) error {
 		if err != nil {
 			return err
 		}
+		rep.Experiments = append(rep.Experiments, t)
 		fmt.Println(t.Format())
 		return nil
 	}
@@ -65,6 +83,7 @@ func main() {
 			}
 			fmt.Println("== E5: Section 4.3 DOL program listing (regenerated) ==")
 			fmt.Println(prog)
+			rep.Listings["E5"] = prog
 			return nil
 		}},
 		{"F1", func() error { return printTable(experiments.F1PhaseBreakdown(iters)) }},
@@ -96,5 +115,19 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		rep.Metrics = obs.Default().Snapshot()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshal report:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiment tables)\n", *jsonPath, len(rep.Experiments))
 	}
 }

@@ -92,8 +92,11 @@ func TestBreakerDegradesNonVitalSiteToPartialResults(t *testing.T) {
 		t.Fatalf("degraded query took %v, want fast-fail under the %v call timeout", elapsed, timeout)
 	}
 	res := results[len(results)-1]
-	if len(res.Degraded) != 1 || res.Degraded[0] != "united" {
+	if len(res.Degraded) != 1 || res.Degraded[0].Entry != "united" {
 		t.Fatalf("degraded = %v, want [united]", res.Degraded)
+	}
+	if res.Degraded[0].Reason == "" {
+		t.Fatalf("degraded entry carries no reason")
 	}
 	if res.Multitable == nil || len(res.Multitable.Tables) != 1 || res.Multitable.Tables[0].Database != "continental" {
 		t.Fatalf("multitable = %+v, want continental's partial result", res.Multitable)

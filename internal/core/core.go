@@ -30,6 +30,7 @@ import (
 	"msql/internal/msqlparser"
 	"msql/internal/mtlog"
 	"msql/internal/multitable"
+	"msql/internal/obs"
 	"msql/internal/relstore"
 	"msql/internal/semvar"
 	"msql/internal/sqlparser"
@@ -40,6 +41,16 @@ import (
 var (
 	ErrNoClient    = errors.New("core: no client registered for site")
 	ErrUnsupported = errors.New("core: unsupported at the multidatabase level")
+)
+
+// Facade metrics (see DESIGN.md §8).
+var (
+	mStatements = obs.Default().CounterVec("msql_statements_total",
+		"MSQL statements executed, by verb.", "verb")
+	mUnitOutcomes = obs.Default().CounterVec("msql_unit_outcomes_total",
+		"Synchronized units (sync, global DML, multitransactions) by terminal GlobalState.", "state")
+	mDegradedResults = obs.Default().Counter("msql_degraded_results_total",
+		"Non-vital scope entries dropped from an answer because their site's circuit breaker was open.")
 )
 
 // GlobalState classifies the outcome of a synchronized unit with respect
@@ -129,7 +140,19 @@ type Result struct {
 	// Degraded lists non-vital scope entries whose site's circuit
 	// breaker was open: the multitable carries no partial result for
 	// them, but the query still answered from the reachable sites.
-	Degraded []string
+	Degraded []DegradedEntry
+	// Elapsed is the wall time of the statement that produced this
+	// result (stamped by ExecScriptContext).
+	Elapsed time.Duration
+	// TraceID correlates this result with its trace in the tracer's ring
+	// buffer (and in the LAM servers' tracers), empty when untraced.
+	TraceID string
+}
+
+// DegradedEntry names a scope entry missing from an answer and why.
+type DegradedEntry struct {
+	Entry  string
+	Reason string
 }
 
 // Participant identifies an in-doubt remote transaction branch left
@@ -169,6 +192,11 @@ type Federation struct {
 	// TCP clients (0 uses the lam package default). Set it before the
 	// first statement touches a remote site.
 	CallTimeout time.Duration
+
+	// Tracer receives one trace per executed script (defaults to
+	// obs.DefaultTracer). Set it before executing statements to direct
+	// traces elsewhere, nil to disable tracing.
+	Tracer *obs.Tracer
 
 	// script execution state
 	scope []semvar.ScopeEntry
@@ -213,6 +241,7 @@ func New() *Federation {
 		servers:    make(map[string]*ldbms.Server),
 		multiviews: make(map[string]*storedView),
 		triggers:   make(map[string]*storedTrigger),
+		Tracer:     obs.DefaultTracer,
 	}
 	f.tctx = &translate.Context{AD: f.AD, GDD: f.GDD}
 	f.engine = dolengine.New(f)
@@ -312,14 +341,30 @@ func (f *Federation) ExecScript(src string) ([]*Result, error) {
 // commit/rollback decisions for prepared participants must be delivered
 // even when the script deadline has expired.
 func (f *Federation) ExecScriptContext(ctx context.Context, src string) ([]*Result, error) {
+	// Each script call gets one trace unless the caller already opened
+	// one; spans from every layer below (translate, plan, engine tasks,
+	// wire calls, 2PC phases) accumulate in it.
+	trace := obs.TraceFrom(ctx)
+	if trace == nil && f.Tracer != nil {
+		trace = f.Tracer.Start("script")
+		ctx = obs.WithTrace(ctx, trace)
+		defer trace.Finish()
+	}
+
+	psp, _ := obs.StartSpan(ctx, "parse", obs.KindParse)
 	script, err := msqlparser.Parse(src)
+	psp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
 	var results []*Result
-	add := func(rs ...*Result) {
+	add := func(elapsed time.Duration, rs ...*Result) {
 		for _, r := range rs {
 			if r != nil {
+				if r.Elapsed == 0 {
+					r.Elapsed = elapsed
+				}
+				r.TraceID = trace.ID()
 				results = append(results, r)
 			}
 		}
@@ -329,22 +374,73 @@ func (f *Federation) ExecScriptContext(ctx context.Context, src string) ([]*Resu
 			// Stop at a statement boundary: synchronize what is pending so
 			// no unit is abandoned inside the prepared-to-commit window,
 			// then report the drain.
+			start := time.Now()
 			r, ferr := f.flush(ctx)
-			add(r)
+			add(time.Since(start), r)
 			if ferr != nil {
 				return results, ferr
 			}
 			return results, ErrDrained
 		}
-		rs, err := f.execStmt(ctx, stmt)
-		add(rs...)
+		verb := verbOf(stmt)
+		ssp, sctx := obs.StartSpan(ctx, "stmt:"+verb, obs.KindStatement)
+		start := time.Now()
+		rs, err := f.execStmt(sctx, stmt)
+		ssp.EndErr(err)
+		mStatements.With(verb).Inc()
+		add(time.Since(start), rs...)
 		if err != nil {
 			return results, err
 		}
 	}
+	start := time.Now()
 	r, err := f.flush(ctx)
-	add(r)
+	add(time.Since(start), r)
 	return results, err
+}
+
+// verbOf names a statement for the per-verb statement counter and the
+// statement span.
+func verbOf(stmt msqlparser.Stmt) string {
+	switch st := stmt.(type) {
+	case *msqlparser.UseStmt:
+		return "use"
+	case *msqlparser.LetStmt:
+		return "let"
+	case *msqlparser.QueryStmt:
+		switch st.Body.(type) {
+		case *sqlparser.SelectStmt:
+			return "select"
+		case *sqlparser.InsertStmt:
+			return "insert"
+		case *sqlparser.UpdateStmt:
+			return "update"
+		case *sqlparser.DeleteStmt:
+			return "delete"
+		case *sqlparser.CreateTableStmt, *sqlparser.CreateViewStmt:
+			return "create"
+		case *sqlparser.DropTableStmt, *sqlparser.DropViewStmt:
+			return "drop"
+		default:
+			return "query"
+		}
+	case *msqlparser.CommitStmt:
+		return "commit"
+	case *msqlparser.RollbackStmt:
+		return "rollback"
+	case *msqlparser.MultiTxStmt:
+		return "multitx"
+	case *msqlparser.IncorporateStmt:
+		return "incorporate"
+	case *msqlparser.ImportStmt:
+		return "import"
+	case *msqlparser.CreateMultidatabaseStmt, *msqlparser.CreateMultiviewStmt, *msqlparser.CreateTriggerStmt:
+		return "define"
+	case *msqlparser.DropMultidatabaseStmt, *msqlparser.DropMultiviewStmt, *msqlparser.DropTriggerStmt:
+		return "undefine"
+	default:
+		return "other"
+	}
 }
 
 // execStmt executes one statement, returning zero or more results (a
@@ -508,6 +604,13 @@ func (f *Federation) expandScope(entries []semvar.ScopeEntry) ([]semvar.ScopeEnt
 	return out, nil
 }
 
+// printPlan materializes the DOL program text under a plan span.
+func printPlan(ctx context.Context, prog *dol.Program) string {
+	sp, _ := obs.StartSpan(ctx, "plan", obs.KindPlan)
+	defer sp.End()
+	return dol.Print(prog)
+}
+
 func resultList(rs ...*Result) []*Result {
 	var out []*Result
 	for _, r := range rs {
@@ -571,11 +674,13 @@ func (f *Federation) sync(ctx context.Context, mode translate.SyncMode) (*Result
 	if len(unit) == 0 {
 		return nil, nil
 	}
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
 	prog, meta, err := f.tctx.TranslateUnit(f.scope, unit, mode)
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindSync, DOL: dol.Print(prog), Skipped: meta.Skipped, Mode: mode}
+	res := &Result{Kind: KindSync, DOL: printPlan(ctx, prog), Skipped: meta.Skipped, Mode: mode}
 	if f.DryRun {
 		f.dropProvisional(meta, nil)
 		return res, nil
@@ -587,6 +692,7 @@ func (f *Federation) sync(ctx context.Context, mode translate.SyncMode) (*Result
 	}
 	f.dropProvisional(meta, out)
 	f.fillFromOutcome(res, meta, out)
+	mUnitOutcomes.With(res.State.String()).Inc()
 	f.maintainGDD(meta, out)
 	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
 		return res, err
@@ -769,15 +875,19 @@ func (f *Federation) matchMultiview(sel *sqlparser.SelectStmt) *storedView {
 
 // execStoredSelect executes a multiview's captured multiple query.
 func (f *Federation) execStoredSelect(ctx context.Context, view *storedView) (*Result, error) {
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
 	prog, meta, err := f.tctx.TranslateQuery(view.scope, view.lets, &msqlparser.QueryStmt{Body: view.body})
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindSelect, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(ctx, prog)
+	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
+	out, err := f.engine.Run(ectx, prog)
+	esp.EndErr(err)
 	if err != nil {
 		return res, err
 	}
@@ -791,15 +901,19 @@ func (f *Federation) execSelect(ctx context.Context, q *msqlparser.QueryStmt) (*
 	if len(f.scope) == 0 {
 		return nil, translate.ErrNoScope
 	}
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
 	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindSelect, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
 	if f.DryRun {
 		return res, nil
 	}
-	out, err := f.engine.Run(ctx, prog)
+	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
+	out, err := f.engine.Run(ectx, prog)
+	esp.EndErr(err)
 	if err != nil {
 		return res, err
 	}
@@ -831,7 +945,11 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 				// query (an unreachable site whose breaker has not tripped
 				// is an error, not a silent hole in the answer).
 				if errors.Is(info.Err, lam.ErrBreakerOpen) && !tm.Entry.Vital {
-					res.Degraded = append(res.Degraded, tm.Entry.Name)
+					res.Degraded = append(res.Degraded, DegradedEntry{
+						Entry:  tm.Entry.Name,
+						Reason: info.Err.Error(),
+					})
+					mDegradedResults.Inc()
 					continue
 				}
 				return fmt.Errorf("core: subquery on %s failed: %w", tm.Entry.Name, info.Err)
@@ -851,11 +969,13 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 // execGlobalDML runs a cross-database manipulation statement as its own
 // unit.
 func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
 	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindGlobalDML, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	res := &Result{Kind: KindGlobalDML, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
 	if f.DryRun {
 		return res, nil
 	}
@@ -864,6 +984,7 @@ func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt)
 		return res, err
 	}
 	f.fillFromOutcome(res, meta, out)
+	mUnitOutcomes.With(res.State.String()).Inc()
 	f.maintainGDD(meta, out)
 	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
 		return res, err
@@ -873,11 +994,13 @@ func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt)
 
 // execMultiTx runs a multitransaction.
 func (f *Federation) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt) (*Result, error) {
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
 	prog, meta, err := f.tctx.TranslateMultiTx(m)
+	tsp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: KindMultiTx, DOL: dol.Print(prog), Skipped: meta.Skipped}
+	res := &Result{Kind: KindMultiTx, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
 	if f.DryRun {
 		return res, nil
 	}
@@ -892,6 +1015,7 @@ func (f *Federation) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt)
 	} else {
 		res.State = StateAborted
 	}
+	mUnitOutcomes.With(res.State.String()).Inc()
 	return res, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"msql/internal/lam"
 	"msql/internal/ldbms"
 	"msql/internal/mtlog"
+	"msql/internal/obs"
 	"msql/internal/sqlparser"
 	"msql/internal/translate"
 )
@@ -133,6 +134,13 @@ func (f *Federation) siteOf(db string) string {
 // through a txJournal, and an end record closes the multitransaction
 // when nothing is left unresolved.
 func (f *Federation) runPlan(ctx context.Context, kind string, prog *dol.Program, meta *translate.Meta) (*dolengine.Outcome, error) {
+	sp, ctx := obs.StartSpan(ctx, "execute:"+kind, obs.KindEngine)
+	out, err := f.runPlanTraced(ctx, kind, prog, meta)
+	sp.EndErr(err)
+	return out, err
+}
+
+func (f *Federation) runPlanTraced(ctx context.Context, kind string, prog *dol.Program, meta *translate.Meta) (*dolengine.Outcome, error) {
 	j := f.Journal()
 	if j == nil {
 		return f.engine.Run(ctx, prog)

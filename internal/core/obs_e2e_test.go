@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"msql/internal/obs"
+)
+
+// TestObservabilityEndToEnd is the acceptance check for the tracing
+// plane: a vital update executed through ExecScriptContext against two
+// real TCP LAM sites must yield one trace whose spans cover parse →
+// translate → plan → per-site wire calls → 2PC phases, with correlated
+// server-side spans (the servers share the process-default tracer, so
+// their serve spans land inside the live trace), and /metrics must
+// report nonzero per-site call latency histograms for the same run.
+func TestObservabilityEndToEnd(t *testing.T) {
+	fed, _ := tcpFederation(t)
+	fed.Tracer = obs.DefaultTracer // explicit: servers record into the same tracer
+
+	results, err := fed.ExecScriptContext(context.Background(), `
+USE continental VITAL united VITAL
+UPDATE flight% SET rate% = rate% * 1.1 WHERE sour% = 'Houston'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := results[len(results)-1]
+	if sync.State != StateSuccess {
+		t.Fatalf("state = %s", sync.State)
+	}
+	if sync.TraceID == "" {
+		t.Fatal("result carries no trace id")
+	}
+	if sync.Elapsed <= 0 {
+		t.Fatalf("result elapsed = %v", sync.Elapsed)
+	}
+
+	ts := obs.DefaultTracer.ByID(sync.TraceID)
+	if ts == nil {
+		t.Fatalf("no trace %s in the ring buffer", sync.TraceID)
+	}
+	if !ts.Finished {
+		t.Fatal("trace not finished")
+	}
+
+	kinds := map[string]int{}
+	sites := map[string]bool{}
+	twoPC := map[string]bool{}
+	serverCorrelated := 0
+	spanByID := map[uint64]obs.SpanSnapshot{}
+	for _, s := range ts.Spans {
+		spanByID[s.ID] = s
+	}
+	for _, s := range ts.Spans {
+		kinds[s.Kind]++
+		if s.Kind == obs.KindCall {
+			sites[s.Attrs["site"]] = true
+		}
+		if s.Kind == obs.Kind2PC {
+			switch {
+			case strings.HasPrefix(s.Name, "prepare:"):
+				twoPC["prepare"] = true
+			case strings.HasPrefix(s.Name, "commit:"):
+				twoPC["commit"] = true
+			case s.Name == "2pc:decision":
+				twoPC["decision"] = true
+			}
+		}
+		if s.Kind == obs.KindServer {
+			if parent, ok := spanByID[s.Parent]; ok && parent.Kind == obs.KindCall {
+				serverCorrelated++
+			}
+		}
+	}
+	for _, kind := range []string{
+		obs.KindParse, obs.KindStatement, obs.KindTranslate, obs.KindPlan,
+		obs.KindEngine, obs.KindTask, obs.KindCall, obs.Kind2PC, obs.KindServer,
+	} {
+		if kinds[kind] == 0 {
+			t.Fatalf("trace has no %s span; kinds = %v\n%s", kind, kinds, obs.FormatTrace(ts))
+		}
+	}
+	if len(sites) != 2 {
+		t.Fatalf("call spans cover sites %v, want both TCP sites", sites)
+	}
+	for _, phase := range []string{"prepare", "decision", "commit"} {
+		if !twoPC[phase] {
+			t.Fatalf("trace has no 2PC %s span\n%s", phase, obs.FormatTrace(ts))
+		}
+	}
+	if serverCorrelated == 0 {
+		t.Fatal("no server-side span is parented under a coordinator call span")
+	}
+
+	// The /metrics text must report nonzero per-site call latency for the
+	// same two sites.
+	var b strings.Builder
+	obs.Default().WritePrometheus(&b)
+	metrics := b.String()
+	for site := range sites {
+		want := `msql_site_call_seconds_count{site="` + site + `"`
+		found := false
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.HasPrefix(line, want) && !strings.HasSuffix(line, " 0") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("/metrics has no nonzero call latency for site %s", site)
+		}
+	}
+}
+
+// TestTraceIDSharedAcrossScriptResults checks that every result of one
+// ExecScriptContext call carries the same trace id (one trace per script).
+func TestTraceIDSharedAcrossScriptResults(t *testing.T) {
+	fed, _ := tcpFederation(t)
+	fed.Tracer = obs.NewTracer(4)
+	results, err := fed.ExecScriptContext(context.Background(), `
+USE continental united
+SELECT flnu% FROM flight%
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	id := results[0].TraceID
+	if id == "" {
+		t.Fatal("empty trace id")
+	}
+	for _, r := range results {
+		if r.TraceID != id {
+			t.Fatalf("trace ids differ: %s vs %s", r.TraceID, id)
+		}
+	}
+	if fed.Tracer.ByID(id) == nil {
+		t.Fatal("trace not in the federation's tracer")
+	}
+}

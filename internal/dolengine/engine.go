@@ -18,10 +18,23 @@ import (
 	"msql/internal/dol"
 	"msql/internal/lam"
 	"msql/internal/ldbms"
+	"msql/internal/obs"
 	"msql/internal/sqlengine"
 	"msql/internal/sqlparser"
 	"msql/internal/sqlval"
 	"msql/internal/wire"
+)
+
+// Engine metrics (see DESIGN.md §8).
+var (
+	mTaskOutcomes = obs.Default().CounterVec("msql_tasks_total",
+		"DOL tasks by terminal status.", "status")
+	mTaskLatency = obs.Default().HistogramVec("msql_task_seconds",
+		"Wall time of each DOL task from start to settle.", nil, "status")
+	mInDoubtDwell = obs.Default().Histogram("msql_indoubt_dwell_seconds",
+		"Time participants spent in the in-doubt window before the recovery loop resolved them.", nil)
+	mInDoubtUnresolved = obs.Default().Counter("msql_indoubt_unresolved_total",
+		"In-doubt participants the bounded recovery loop could not reach.")
 )
 
 // Engine errors.
@@ -165,6 +178,7 @@ type taskRT struct {
 	recoverID     int64
 	recoverCommit bool
 	recoverable   bool
+	inDoubtAt     time.Time // when the participant entered the in-doubt window
 }
 
 // markInDoubt records a participant whose prepared transaction lost its
@@ -177,6 +191,7 @@ func (t *taskRT) markInDoubt(rec lam.Recoverable, commit bool, err error) {
 		t.info.Err = err
 	}
 	t.recoverAddr, t.recoverID, t.recoverCommit, t.recoverable = addr, id, commit, true
+	t.inDoubtAt = time.Now()
 	t.mu.Unlock()
 }
 
@@ -267,6 +282,9 @@ func (e *Engine) RunLogged(ctx context.Context, prog *dol.Program, log TxLog) (*
 		}
 		c.mu.Unlock()
 	}
+	for _, info := range r.out.Tasks {
+		mTaskOutcomes.With(info.Status.String()).Inc()
+	}
 	if err != nil {
 		return r.out, err
 	}
@@ -289,6 +307,8 @@ func (r *run) recoverInDoubt() {
 		if !pending {
 			continue
 		}
+		rsp, _ := obs.StartSpan(r.ctx, "resolve:"+name, obs.KindRecovery)
+		rsp.SetAttr("site", addr)
 		resolved := false
 		for attempt := 0; attempt <= r.eng.Recovery.Attempts; attempt++ {
 			if attempt > 0 {
@@ -309,7 +329,17 @@ func (r *run) recoverInDoubt() {
 			resolved = true
 			break
 		}
-		if !resolved {
+		rt.mu.Lock()
+		enteredAt := rt.inDoubtAt
+		rt.mu.Unlock()
+		if resolved {
+			if !enteredAt.IsZero() {
+				mInDoubtDwell.ObserveSince(enteredAt)
+			}
+			rsp.End()
+		} else {
+			mInDoubtUnresolved.Inc()
+			rsp.EndErr(fmt.Errorf("dolengine: participant unreachable"))
 			r.out.Unresolved = append(r.out.Unresolved, InDoubt{
 				Task: name, Conn: connName, Database: db,
 				Addr: addr, SessionID: id, Commit: commit,
@@ -424,6 +454,9 @@ func (r *run) execStmt(s dol.Stmt) error {
 				return err
 			}
 		}
+		dsp, _ := obs.StartSpan(r.ctx, "2pc:decision", obs.Kind2PC)
+		dsp.SetAttr("decision", "commit")
+		defer dsp.End()
 		if r.log != nil {
 			if err := r.log.Decision(true, st.Tasks); err != nil {
 				// The write-ahead rule: a commit decision that is not on
@@ -501,6 +534,19 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		<-dep.done
 	}
 	rt.setStatus(dol.StatusRunning, nil)
+	start := time.Now()
+
+	// The task span covers the task's subquery work; wire call spans made
+	// through sctx parent under it. 2PC phases get their own child spans.
+	span, sctx := obs.StartSpan(r.ctx, "task:"+rt.stmt.Name, obs.KindTask)
+	span.SetAttr("conn", rt.stmt.Conn)
+	span.SetAttr("db", c.db)
+	defer func() {
+		st := rt.status()
+		span.SetAttr("status", st.String())
+		span.End()
+		mTaskLatency.With(st.String()).ObserveSince(start)
+	}()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -514,7 +560,7 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		return
 	}
 	for _, stmt := range rt.stmt.Body {
-		res, err := c.session.Exec(r.ctx, sqlparser.Deparse(stmt))
+		res, err := c.session.Exec(sctx, sqlparser.Deparse(stmt))
 		if err != nil {
 			rt.setStatus(dol.StatusAborted, err)
 			r.logOutcome(rt)
@@ -531,7 +577,10 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		rt.mu.Unlock()
 	}
 	if rt.stmt.NoCommit {
-		if err := c.session.Prepare(r.ctx); err != nil {
+		psp, pctx := obs.StartSpan(sctx, "prepare:"+rt.stmt.Name, obs.Kind2PC)
+		err := c.session.Prepare(pctx)
+		psp.EndErr(err)
+		if err != nil {
 			// A transport failure leaves the vote unknown: the LAM may have
 			// prepared and parked the session. Record an in-doubt rollback —
 			// the plan's IF sees the task as not-prepared and aborts the
@@ -548,7 +597,10 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		r.logPrepared(rt, c.session)
 		return
 	}
-	if err := c.session.Commit(r.ctx); err != nil {
+	csp, cctx := obs.StartSpan(sctx, "commit:"+rt.stmt.Name, obs.Kind2PC)
+	err := c.session.Commit(cctx)
+	csp.EndErr(err)
+	if err != nil {
 		rt.setStatus(dol.StatusAborted, err)
 		r.logOutcome(rt)
 		return
@@ -585,7 +637,10 @@ func (r *run) commitTask(name string) error {
 		r.logOutcome(t)
 		return nil
 	}
-	if err := c.session.Commit(r.ctx); err != nil {
+	sp, sctx := obs.StartSpan(r.ctx, "commit:"+name, obs.Kind2PC)
+	err := c.session.Commit(sctx)
+	sp.EndErr(err)
+	if err != nil {
 		// The decision was COMMIT. If the transport failed the outcome is
 		// unknown — never report Aborted (that would make the global state
 		// silently Incorrect); record in-doubt for the recovery loop.
@@ -620,7 +675,10 @@ func (r *run) abortTask(name string) error {
 	if c.session == nil {
 		return nil
 	}
-	if err := c.session.Rollback(r.ctx); err != nil {
+	sp, sctx := obs.StartSpan(r.ctx, "rollback:"+name, obs.Kind2PC)
+	err := c.session.Rollback(sctx)
+	sp.EndErr(err)
+	if err != nil {
 		if rec, ok := recoveryOf(c.session); ok && wire.Transient(err) {
 			t.markInDoubt(rec, false, err)
 			return nil

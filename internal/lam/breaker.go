@@ -65,6 +65,14 @@ type BreakerPolicy struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds each health probe (default 1s).
 	ProbeTimeout time.Duration
+	// OnTransition, when non-nil, is called after every breaker state
+	// change with the service name and the states left and entered. It
+	// runs outside the breaker's lock (calling back into the breaker is
+	// safe) but on the goroutine that caused the transition, so it must
+	// not block. Transitions are also always recorded as metrics
+	// (msql_breaker_transitions_total, msql_breaker_state) whether or
+	// not a callback is installed.
+	OnTransition func(service string, from, to BreakerState)
 }
 
 func (p BreakerPolicy) withDefaults() BreakerPolicy {
@@ -123,47 +131,84 @@ func (b *BreakerClient) Trips() int {
 	return b.trips
 }
 
+// setStateLocked moves the automaton to a new state and returns the
+// notification (metrics + OnTransition callback) to deliver once the
+// caller drops b.mu, nil when the state did not change. Delivering
+// outside the lock keeps callbacks free to call back into the breaker.
+func (b *BreakerClient) setStateLocked(to BreakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	svc := b.inner.ServiceName()
+	cb := b.pol.OnTransition
+	return func() {
+		mBreakerTransitions.With(svc, to.String()).Inc()
+		mBreakerState.With(svc).Set(int64(to))
+		if cb != nil {
+			cb(svc, from, to)
+		}
+	}
+}
+
+func notify(f func()) {
+	if f != nil {
+		f()
+	}
+}
+
 // allow decides whether a gated call may proceed. In the open state it
 // fails fast until the cooldown elapses, then admits a single trial
 // (half-open).
 func (b *BreakerClient) allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return nil
 	case BreakerOpen:
 		if time.Since(b.openedAt) < b.pol.Cooldown {
-			return fmt.Errorf("%w: %s (cooldown %s)", ErrBreakerOpen, b.inner.ServiceName(), b.pol.Cooldown)
+			err := fmt.Errorf("%w: %s (cooldown %s)", ErrBreakerOpen, b.inner.ServiceName(), b.pol.Cooldown)
+			b.mu.Unlock()
+			return err
 		}
-		b.state = BreakerHalfOpen
+		n := b.setStateLocked(BreakerHalfOpen)
+		b.mu.Unlock()
+		notify(n)
 		return nil
 	default: // BreakerHalfOpen: one trial at a time
-		return fmt.Errorf("%w: %s (trial in flight)", ErrBreakerOpen, b.inner.ServiceName())
+		err := fmt.Errorf("%w: %s (trial in flight)", ErrBreakerOpen, b.inner.ServiceName())
+		b.mu.Unlock()
+		return err
 	}
 }
 
 // record feeds one call outcome into the automaton.
 func (b *BreakerClient) record(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var n func()
 	if err == nil || !wire.Transient(err) {
 		// Success, or a definite answer from the server: the site is
 		// reachable. Close the breaker and reset the count.
-		b.state = BreakerClosed
+		n = b.setStateLocked(BreakerClosed)
 		b.fails = 0
+		b.mu.Unlock()
+		notify(n)
 		return
 	}
 	b.fails++
 	if b.state == BreakerHalfOpen || b.fails >= b.pol.Threshold {
-		b.tripLocked()
+		n = b.tripLocked()
 	}
+	b.mu.Unlock()
+	notify(n)
 }
 
-// tripLocked opens the breaker and starts the health probe. Caller
-// holds b.mu.
-func (b *BreakerClient) tripLocked() {
-	b.state = BreakerOpen
+// tripLocked opens the breaker and starts the health probe, returning
+// the transition notification. Caller holds b.mu.
+func (b *BreakerClient) tripLocked() func() {
+	n := b.setStateLocked(BreakerOpen)
 	b.openedAt = time.Now()
 	b.trips++
 	if b.pol.ProbeInterval > 0 && !b.probing {
@@ -171,6 +216,7 @@ func (b *BreakerClient) tripLocked() {
 		b.stopCh = make(chan struct{})
 		go b.probeLoop(b.stopCh)
 	}
+	return n
 }
 
 // probeLoop pings the LAM's Profile op while the breaker is open; the
@@ -198,10 +244,11 @@ func (b *BreakerClient) probeLoop(stop chan struct{}) {
 		cancel()
 		if err == nil {
 			b.mu.Lock()
-			b.state = BreakerClosed
+			n := b.setStateLocked(BreakerClosed)
 			b.fails = 0
 			b.probing = false
 			b.mu.Unlock()
+			notify(n)
 			return
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"msql/internal/ldbms"
+	"msql/internal/obs"
 	"msql/internal/relstore"
 	"msql/internal/sqlengine"
 	"msql/internal/sqlval"
@@ -164,12 +165,47 @@ func dialConn(ctx context.Context, addr string, opts DialOptions) (*rpcConn, err
 	}, nil
 }
 
-// call issues one request/response exchange. The connection deadline is
-// the earlier of the context deadline and the per-call timeout; a
-// transport failure (timeout, severed connection, torn stream) poisons the
-// connection and is wrapped in *OpError. Errors the server answered with
-// are returned as-is — they are definite.
+// call issues one request/response exchange, recording the round trip as
+// a per-site latency observation and — when the context carries a trace —
+// as a call span whose id propagates to the server in the request, so
+// the LAM's server-side span correlates with this one.
 func (c *rpcConn) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	op := req.Kind.String()
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		sp := tr.StartSpan("call:"+op, obs.KindCall, obs.SpanFrom(ctx))
+		sp.SetAttr("site", c.addr)
+		req.TraceID = tr.ID()
+		req.ParentSpan = uint64(sp.ID())
+		start := time.Now()
+		resp, err := c.exchange(ctx, req)
+		c.noteCall(op, start, err)
+		if resp != nil {
+			sp.SetServerNS(resp.ServerNS)
+		}
+		sp.EndErr(err)
+		return resp, err
+	}
+	start := time.Now()
+	resp, err := c.exchange(ctx, req)
+	c.noteCall(op, start, err)
+	return resp, err
+}
+
+// noteCall records the latency and transient-failure metrics of one
+// exchange.
+func (c *rpcConn) noteCall(op string, start time.Time, err error) {
+	mCallLatency.With(c.addr, op).ObserveSince(start)
+	if err != nil && wire.Transient(err) {
+		mTransientErrs.With(c.addr, op).Inc()
+	}
+}
+
+// exchange performs the raw request/response round trip. The connection
+// deadline is the earlier of the context deadline and the per-call
+// timeout; a transport failure (timeout, severed connection, torn
+// stream) poisons the connection and is wrapped in *OpError. Errors the
+// server answered with are returned as-is — they are definite.
+func (c *rpcConn) exchange(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
@@ -295,6 +331,7 @@ func (r *Remote) control(ctx context.Context, req *wire.Request) (*wire.Response
 		if !wire.Transient(err) || attempt >= r.opts.Retry.Attempts {
 			return nil, last
 		}
+		mRetries.With(r.addr).Inc()
 	}
 }
 
@@ -336,6 +373,7 @@ func (r *Remote) Open(ctx context.Context, db string) (Session, error) {
 		if !wire.Transient(err) || attempt >= r.opts.Retry.Attempts {
 			return nil, last
 		}
+		mRetries.With(r.addr).Inc()
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"msql/internal/ldbms"
+	"msql/internal/obs"
 	"msql/internal/wire"
 )
 
@@ -38,6 +40,27 @@ type TCPServer struct {
 
 	errMu    sync.Mutex
 	connErrs []error // non-benign connection errors (see ConnErrors)
+
+	obsMu  sync.Mutex
+	tracer *obs.Tracer // nil = obs.DefaultTracer
+}
+
+// SetTracer directs this server's request spans to tr instead of the
+// process-wide obs.DefaultTracer (used by tests and embedders running
+// several servers in one process).
+func (t *TCPServer) SetTracer(tr *obs.Tracer) {
+	t.obsMu.Lock()
+	t.tracer = tr
+	t.obsMu.Unlock()
+}
+
+func (t *TCPServer) obsTracer() *obs.Tracer {
+	t.obsMu.Lock()
+	defer t.obsMu.Unlock()
+	if t.tracer != nil {
+		return t.tracer
+	}
+	return obs.DefaultTracer
 }
 
 // Serve starts serving srv on a fresh listener at addr (use "127.0.0.1:0"
@@ -198,7 +221,20 @@ func (t *TCPServer) handle(conn net.Conn) {
 			t.noteConnErr(err)
 			return
 		}
+		start := time.Now()
 		resp := t.dispatch(&req, cs)
+		elapsed := time.Since(start)
+		resp.ServerNS = elapsed.Nanoseconds()
+		op := req.Kind.String()
+		mServerRequests.With(op).Inc()
+		mServerLatency.With(op).Observe(elapsed.Seconds())
+		if req.TraceID != "" {
+			// Correlate this server-side span with the coordinator's call
+			// span: same trace id, parented under the client span id that
+			// rode in on the request.
+			t.obsTracer().RecordServerSpan(req.TraceID, "serve:"+op, obs.KindServer,
+				obs.SpanID(req.ParentSpan), start, elapsed, resp.ErrMsg)
+		}
 		if err := enc.Encode(resp); err != nil {
 			t.noteConnErr(err)
 			return

@@ -5,6 +5,18 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
+
+	"msql/internal/obs"
+)
+
+// Journal metrics (see DESIGN.md §8). Fsync latency is the write-ahead
+// rule's price: every TPrepared/TDecision append pays one forced flush.
+var (
+	mAppends = obs.Default().CounterVec("msql_journal_appends_total",
+		"Journal records appended, by record type.", "type")
+	mFsync = obs.Default().Histogram("msql_journal_fsync_seconds",
+		"Latency of the fsync forced by TPrepared/TDecision appends.", nil)
 )
 
 // Journal is an append-only multitransaction log on one file. Appends
@@ -86,10 +98,13 @@ func (j *Journal) Append(rec *Record) error {
 		return err
 	}
 	if rec.Type == TPrepared || rec.Type == TDecision {
+		start := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return err
 		}
+		mFsync.ObserveSince(start)
 	}
+	mAppends.With(rec.Type.String()).Inc()
 	return nil
 }
 

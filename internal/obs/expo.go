@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one sample line
+// per child, cumulative le-labeled buckets plus _sum and _count for
+// histograms.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, e := range r.entries() {
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind)
+		switch m := e.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s %d\n", e.name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s %d\n", e.name, m.Value())
+		case *Histogram:
+			writePromHistogram(w, e.name, "", m)
+		case CounterVec:
+			for _, k := range m.snapshotKeys() {
+				fmt.Fprintf(w, "%s{%s} %d\n", e.name, promLabels(m.labels, k), m.child(k).(*Counter).Value())
+			}
+		case GaugeVec:
+			for _, k := range m.snapshotKeys() {
+				fmt.Fprintf(w, "%s{%s} %d\n", e.name, promLabels(m.labels, k), m.child(k).(*Gauge).Value())
+			}
+		case HistogramVec:
+			for _, k := range m.snapshotKeys() {
+				writePromHistogram(w, e.name, promLabels(m.labels, k), m.child(k).(*Histogram))
+			}
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram) {
+	le := func(bound string) string {
+		if labels == "" {
+			return `le="` + bound + `"`
+		}
+		return labels + `,le="` + bound + `"`
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, le(formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, le("+Inf"), cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promLabels renders a child key (label values joined by \x1f) as
+// name="value" pairs.
+func promLabels(names []string, key string) string {
+	vals := strings.Split(key, "\x1f")
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Snapshot returns every metric as a JSON-friendly value tree, used for
+// the expvar exposition: counters and gauges become numbers, vectors
+// become maps keyed by comma-joined label values, histograms become
+// {count, sum} objects.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	histo := func(h *Histogram) map[string]any {
+		return map[string]any{"count": h.Count(), "sum": h.Sum()}
+	}
+	for _, e := range r.entries() {
+		switch m := e.metric.(type) {
+		case *Counter:
+			out[e.name] = m.Value()
+		case *Gauge:
+			out[e.name] = m.Value()
+		case *Histogram:
+			out[e.name] = histo(m)
+		case CounterVec:
+			sub := make(map[string]any)
+			for _, k := range m.snapshotKeys() {
+				sub[strings.ReplaceAll(k, "\x1f", ",")] = m.child(k).(*Counter).Value()
+			}
+			out[e.name] = sub
+		case GaugeVec:
+			sub := make(map[string]any)
+			for _, k := range m.snapshotKeys() {
+				sub[strings.ReplaceAll(k, "\x1f", ",")] = m.child(k).(*Gauge).Value()
+			}
+			out[e.name] = sub
+		case HistogramVec:
+			sub := make(map[string]any)
+			for _, k := range m.snapshotKeys() {
+				sub[strings.ReplaceAll(k, "\x1f", ",")] = histo(m.child(k).(*Histogram))
+			}
+			out[e.name] = sub
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// publishExpvar registers the default registry's snapshot under the
+// expvar name "msql" exactly once (expvar panics on duplicates).
+var publishExpvar sync.Once
+
+// Handler returns the debug surface over a registry and tracer:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/traces   recent traces as JSON (?n=, ?id= filters)
+//	/debug/vars     expvar JSON, including the registry under "msql"
+//	/debug/pprof/   net/http/pprof profiles
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	publishExpvar.Do(func() {
+		expvar.Publish("msql", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("id"); id != "" {
+			ts := tr.ByID(id)
+			if ts == nil {
+				http.Error(w, "unknown trace", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(ts)
+			return
+		}
+		n := 20
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		_ = enc.Encode(tr.Recent(n))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "msql debug surface\n\n/metrics\n/debug/traces\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the debug surface on addr (use ":0" for an ephemeral
+// port) in a background goroutine and returns the listener; closing it
+// stops the server.
+func Serve(addr string, reg *Registry, tr *Tracer) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

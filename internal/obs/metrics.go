@@ -1,0 +1,316 @@
+// Package obs is the federation's observability plane: a zero-dependency
+// tracing and metrics subsystem threaded through every layer of the MSQL
+// execution environment (DESIGN.md §8). The multidatabase pipeline —
+// MSQL → DOL plan → engine → LAMs over heterogeneous sites — is exactly
+// the kind of multi-hop system where latency and failures are invisible
+// without instrumentation; obs makes each statement's journey observable
+// as a trace of spans and each subsystem's behavior observable as
+// counters, gauges, and histograms with Prometheus-text and expvar
+// exposition.
+//
+// The package deliberately depends only on the standard library so every
+// internal package (wire, lam, dolengine, mtlog, core) can import it
+// without cycles or new third-party dependencies.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (breaker state, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative-style buckets
+// (upper bounds in ascending order, +Inf implicit). Observation is
+// lock-free: one atomic add on the matching bucket, the count, and a CAS
+// loop on the float sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets returns the default latency bucket bounds in seconds,
+// spanning 100µs to 10s — wide enough for in-process calls and
+// fault-injected WAN-ish round trips alike.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// vec is the shared labeled-children machinery behind CounterVec,
+// GaugeVec, and HistogramVec: a read-mostly map from joined label values
+// to child metrics. Lookup of an existing child takes one RLock.
+type vec struct {
+	labels []string
+	newFn  func() any
+
+	mu       sync.RWMutex
+	children map[string]any
+	keys     []string // insertion-ordered for stable exposition
+}
+
+func newVec(labels []string, newFn func() any) *vec {
+	return &vec{labels: labels, newFn: newFn, children: make(map[string]any)}
+}
+
+func labelKey(vals []string) string { return strings.Join(vals, "\x1f") }
+
+func (v *vec) with(vals ...string) any {
+	if len(vals) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric expects %d label values, got %d", len(v.labels), len(vals)))
+	}
+	k := labelKey(vals)
+	v.mu.RLock()
+	c, ok := v.children[k]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[k]; ok {
+		return c
+	}
+	c = v.newFn()
+	v.children[k] = c
+	v.keys = append(v.keys, k)
+	return c
+}
+
+// snapshotKeys returns the child keys in insertion order.
+func (v *vec) snapshotKeys() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.keys...)
+}
+
+func (v *vec) child(key string) any {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.children[key]
+}
+
+// CounterVec is a Counter family partitioned by label values.
+type CounterVec struct{ *vec }
+
+// With returns (creating on first use) the child for the label values.
+func (c CounterVec) With(vals ...string) *Counter { return c.with(vals...).(*Counter) }
+
+// GaugeVec is a Gauge family partitioned by label values.
+type GaugeVec struct{ *vec }
+
+// With returns (creating on first use) the child for the label values.
+func (g GaugeVec) With(vals ...string) *Gauge { return g.with(vals...).(*Gauge) }
+
+// HistogramVec is a Histogram family partitioned by label values.
+type HistogramVec struct {
+	*vec
+}
+
+// With returns (creating on first use) the child for the label values.
+func (h HistogramVec) With(vals ...string) *Histogram { return h.with(vals...).(*Histogram) }
+
+// entry is one registered metric with its metadata.
+type entry struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	metric any    // *Counter, *Gauge, *Histogram, CounterVec, GaugeVec, HistogramVec
+}
+
+// Registry holds named metrics. Registration is get-or-register: asking
+// for the same name again returns the existing metric, so packages can
+// declare their metrics as package variables without coordinating
+// initialization order, and tests can re-register concurrently.
+type Registry struct {
+	mu    sync.RWMutex
+	byNam map[string]*entry
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNam: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every layer records into.
+func Default() *Registry { return defaultRegistry }
+
+// register implements get-or-register. A name registered with a
+// different metric shape is a programming error and panics.
+func (r *Registry) register(name, help, kind string, mk func() any) any {
+	r.mu.RLock()
+	e, ok := r.byNam[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if e, ok = r.byNam[name]; !ok {
+			e = &entry{name: name, help: help, kind: kind, metric: mk()}
+			r.byNam[name] = e
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s already registered as %s, not %s", name, e.kind, kind))
+	}
+	return e.metric
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, "counter", func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is labeled; use CounterVec", name))
+	}
+	return c
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	m := r.register(name, help, "counter", func() any {
+		return CounterVec{newVec(labels, func() any { return &Counter{} })}
+	})
+	v, ok := m.(CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is unlabeled; use Counter", name))
+	}
+	return v
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, "gauge", func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is labeled; use GaugeVec", name))
+	}
+	return g
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	m := r.register(name, help, "gauge", func() any {
+		return GaugeVec{newVec(labels, func() any { return &Gauge{} })}
+	})
+	v, ok := m.(GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is unlabeled; use Gauge", name))
+	}
+	return v
+}
+
+// Histogram registers (or returns) an unlabeled histogram. A nil bounds
+// slice uses DurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	m := r.register(name, help, "histogram", func() any { return newHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is labeled; use HistogramVec", name))
+	}
+	return h
+}
+
+// HistogramVec registers (or returns) a labeled histogram family. A nil
+// bounds slice uses DurationBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	m := r.register(name, help, "histogram", func() any {
+		return HistogramVec{newVec(labels, func() any { return newHistogram(bounds) })}
+	})
+	v, ok := m.(HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %s is unlabeled; use Histogram", name))
+	}
+	return v
+}
+
+// entries returns the registered entries in registration order.
+func (r *Registry) entries() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byNam[name])
+	}
+	return out
+}

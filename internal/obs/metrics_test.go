@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := reg.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := reg.Histogram("h_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 5.54 || s > 5.56 {
+		t.Fatalf("sum = %v", s)
+	}
+}
+
+func TestRegistryGetOrRegister(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same", "help")
+	b := reg.Counter("same", "help")
+	if a != b {
+		t.Fatal("re-registering a name must return the same collector")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name as a different kind must panic")
+		}
+	}()
+	reg.Gauge("same", "help")
+}
+
+// TestConcurrentRegistrationAndObservation hammers one registry from many
+// goroutines that simultaneously register (same names) and observe; run
+// under -race this is the concurrency-safety proof for the metrics plane.
+func TestConcurrentRegistrationAndObservation(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("hits_total", "h").Inc()
+				reg.CounterVec("site_hits_total", "h", "site").With(fmt.Sprintf("site%d", i%3)).Inc()
+				reg.Gauge("depth", "h").Set(int64(i))
+				reg.Histogram("lat_seconds", "h", nil).Observe(float64(i) / 1000)
+				reg.HistogramVec("site_lat_seconds", "h", nil, "site").With("s").ObserveSince(time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("hits_total", "h").Value(); got != workers*iters {
+		t.Fatalf("hits_total = %d, want %d", got, workers*iters)
+	}
+	var vecTotal int64
+	for _, s := range []string{"site0", "site1", "site2"} {
+		vecTotal += reg.CounterVec("site_hits_total", "h", "site").With(s).Value()
+	}
+	if vecTotal != workers*iters {
+		t.Fatalf("site_hits_total = %d, want %d", vecTotal, workers*iters)
+	}
+	if got := reg.Histogram("lat_seconds", "h", nil).Count(); got != workers*iters {
+		t.Fatalf("lat_seconds count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("plain_total", "a plain counter").Add(3)
+	reg.CounterVec("by_site_total", "per site", "site", "op").With("a:1", "exec").Inc()
+	reg.Gauge("level", "a gauge").Set(-2)
+	h := reg.HistogramVec("rt_seconds", "latency", []float64{0.1, 1}, "site")
+	h.With("a:1").Observe(0.5)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP plain_total a plain counter",
+		"# TYPE plain_total counter",
+		"plain_total 3",
+		`by_site_total{site="a:1",op="exec"} 1`,
+		"# TYPE level gauge",
+		"level -2",
+		"# TYPE rt_seconds histogram",
+		`rt_seconds_bucket{site="a:1",le="0.1"} 0`,
+		`rt_seconds_bucket{site="a:1",le="1"} 1`,
+		`rt_seconds_bucket{site="a:1",le="+Inf"} 1`,
+		`rt_seconds_sum{site="a:1"} 0.5`,
+		`rt_seconds_count{site="a:1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n_total", "h").Add(2)
+	reg.CounterVec("v_total", "h", "k").With("x").Add(4)
+	reg.Histogram("h_seconds", "h", nil).Observe(1)
+	snap := reg.Snapshot()
+	if snap["n_total"] != int64(2) {
+		t.Fatalf("n_total = %v", snap["n_total"])
+	}
+	vec, ok := snap["v_total"].(map[string]any)
+	if !ok || vec["x"] != int64(4) {
+		t.Fatalf("v_total = %v", snap["v_total"])
+	}
+	hist, ok := snap["h_seconds"].(map[string]any)
+	if !ok || hist["count"] != int64(1) {
+		t.Fatalf("h_seconds = %v", snap["h_seconds"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "h", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}

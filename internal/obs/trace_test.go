@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTreeAndSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.Start("script")
+	if trace.ID() == "" || len(trace.ID()) != 16 {
+		t.Fatalf("trace id = %q", trace.ID())
+	}
+	root := trace.StartSpan("stmt:select", KindStatement, nil)
+	child := trace.StartSpan("task:T1", KindTask, root)
+	child.SetAttr("site", "a:1")
+	child.EndErr(errors.New("boom"))
+	child.EndErr(nil) // second end must not clear the first
+	root.End()
+	trace.Finish()
+	trace.Finish() // idempotent
+
+	ts := tr.ByID(trace.ID())
+	if ts == nil || !ts.Finished || len(ts.Spans) != 2 {
+		t.Fatalf("snapshot = %+v", ts)
+	}
+	if ts.Spans[1].Parent != ts.Spans[0].ID {
+		t.Fatalf("parenting: %+v", ts.Spans)
+	}
+	if ts.Spans[1].Err != "boom" || ts.Spans[1].Attrs["site"] != "a:1" {
+		t.Fatalf("child span = %+v", ts.Spans[1])
+	}
+	tree := FormatTrace(ts)
+	if !strings.Contains(tree, "task:T1 @a:1") || !strings.Contains(tree, "ERR=boom") {
+		t.Fatalf("tree:\n%s", tree)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		trace := tr.Start("t")
+		ids = append(ids, trace.ID())
+		trace.Finish()
+	}
+	if tr.ByID(ids[0]) != nil {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 2 || recent[0].TraceID != ids[2] || recent[1].TraceID != ids[1] {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestRecordServerSpanCorrelatesAndSynthesizes(t *testing.T) {
+	// Known trace id: the server span joins the live trace.
+	tr := NewTracer(4)
+	trace := tr.Start("script")
+	call := trace.StartSpan("call:exec", KindCall, nil)
+	tr.RecordServerSpan(trace.ID(), "serve:exec", KindServer, call.ID(), time.Now(), time.Millisecond, "")
+	call.End()
+	trace.Finish()
+	ts := tr.ByID(trace.ID())
+	var server *SpanSnapshot
+	for i := range ts.Spans {
+		if ts.Spans[i].Kind == KindServer {
+			server = &ts.Spans[i]
+		}
+	}
+	if server == nil || !server.Remote || server.Parent != uint64(call.ID()) {
+		t.Fatalf("server span = %+v", server)
+	}
+
+	// Unknown trace id (coordinator in another process): a synthetic
+	// finished remote trace appears with the same id.
+	other := NewTracer(4)
+	other.RecordServerSpan("deadbeefdeadbeef", "serve:open", KindServer, 7, time.Now(), time.Millisecond, "nope")
+	syn := other.ByID("deadbeefdeadbeef")
+	if syn == nil || !syn.Finished || len(syn.Spans) != 1 || syn.Spans[0].Err != "nope" {
+		t.Fatalf("synthetic trace = %+v", syn)
+	}
+}
+
+func TestNilSafetyAndContextPropagation(t *testing.T) {
+	// All span/trace methods must be no-ops on nil receivers.
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetServerNS(1)
+	s.End()
+	s.EndErr(errors.New("x"))
+	if s.ID() != 0 {
+		t.Fatal("nil span id")
+	}
+	var trace *Trace
+	trace.Finish()
+	if trace.ID() != "" {
+		t.Fatal("nil trace id")
+	}
+
+	// StartSpan without a trace in the context returns (nil, same ctx).
+	ctx := context.Background()
+	sp, ctx2 := StartSpan(ctx, "x", KindCall)
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan should be inert without a trace")
+	}
+
+	// With a trace, spans nest through the context.
+	tr := NewTracer(1)
+	live := tr.Start("t")
+	ctx = WithTrace(ctx, live)
+	parent, ctx := StartSpan(ctx, "outer", KindEngine)
+	childSp, _ := StartSpan(ctx, "inner", KindTask)
+	if SpanFrom(ctx) != parent {
+		t.Fatal("context should carry the outer span")
+	}
+	childSp.End()
+	parent.End()
+	live.Finish()
+	ts := tr.ByID(live.ID())
+	if len(ts.Spans) != 2 || ts.Spans[1].Parent != ts.Spans[0].ID {
+		t.Fatalf("spans = %+v", ts.Spans)
+	}
+}
+
+// TestConcurrentSpans exercises one trace from many goroutines; under
+// -race this is the concurrency proof for the tracing plane.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(2)
+	trace := tr.Start("t")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := trace.StartSpan("task", KindTask, nil)
+				sp.SetAttr("w", "x")
+				tr.RecordServerSpan(trace.ID(), "serve", KindServer, sp.ID(), time.Now(), time.Microsecond, "")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	trace.Finish()
+	ts := tr.ByID(trace.ID())
+	if len(ts.Spans) != 8*50*2 {
+		t.Fatalf("spans = %d, want %d", len(ts.Spans), 8*50*2)
+	}
+}

@@ -64,6 +64,15 @@ type Request struct {
 	Database  string // ReqOpen
 	SQL       string // ReqExec
 	Name      string // ReqDescribe: table or view name
+	// TraceID correlates this request with a coordinator-side trace
+	// (internal/obs): when nonempty the server records its own span for
+	// the request under the same trace id, so client and server timing
+	// lines up in /debug/traces. ParentSpan is the coordinator-side call
+	// span the server-side span attaches under. Both are ignored by
+	// servers predating the observability plane (gob drops unknown
+	// fields), keeping the protocol compatible in both directions.
+	TraceID    string
+	ParentSpan uint64
 }
 
 // Column mirrors relstore.Column across the wire.
@@ -205,6 +214,10 @@ type Response struct {
 	State     uint8
 	Profile   Profile
 	ServiceNm string
+	// ServerNS is the server-side processing time of the request in
+	// nanoseconds (0 when unmeasured), letting the client split each
+	// call span into wire time vs. LAM work.
+	ServerNS int64
 }
 
 // Err returns the decoded error of the response.
