@@ -9,6 +9,7 @@
 //	msql -f script.msql  # run a script
 //	msql -e "USE avis national" -e "SELECT %code FROM car%"
 //	msql -autocommit-cont # continental on an autocommit-only service
+//	msql -journal mt.j -lam-journal lamj/  # durable 2PC on both sides
 //
 // In the shell, terminate statements with ';' or an empty line. The
 // commands .dol on/.dol off toggle echoing the generated DOL programs,
@@ -52,6 +53,7 @@ func realMain() int {
 		seed        = flag.Int64("seed", 1, "fault-injection random seed")
 		stateDir    = flag.String("state", "", "directory of per-service snapshots to load at start and save at exit")
 		journalPath = flag.String("journal", "", "write-ahead multitransaction journal file: replayed at start, appended during the session, closed at exit")
+		lamJournal  = flag.String("lam-journal", "", "directory of per-service participant journals: each demo service is served over TCP on a fixed loopback port with durable prepared state, replayed on the next start")
 		breakerN    = flag.Int("breaker-threshold", 0, "consecutive transient failures that open a site's circuit breaker (0 disables breakers)")
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open trial")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
@@ -88,6 +90,16 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, "save state:", err)
 			}
 		}()
+	}
+	// Durable participants come up before the coordinator journal is
+	// replayed: Recover must be able to dial them.
+	if *lamJournal != "" {
+		closeLAMs, err := serveDurableLAMs(fed, *lamJournal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lam-journal:", err)
+			return 1
+		}
+		defer closeLAMs()
 	}
 	if *journalPath != "" {
 		j, err := mtlog.Open(*journalPath)
@@ -390,6 +402,61 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 // demoServices are the services of the demo federation, used for
 // per-service state snapshots.
 var demoServices = []string{"svc_cont", "svc_delta", "svc_unit", "svc_avis", "svc_natl"}
+
+// lamBasePort numbers the fixed loopback ports of -lam-journal TCP
+// services. The ports must be stable across msql restarts: the
+// coordinator journal records participant addresses at prepare time and
+// recovery re-dials them.
+const lamBasePort = 7841
+
+// serveDurableLAMs puts every demo service behind a TCP LAM with a
+// participant journal under dir, re-registering the federation's clients
+// so synchronization points run over the wire with durable PREPARED
+// votes. Starting a server replays whatever prepared state the previous
+// process left in its journal. Returns a closer that shuts the servers
+// down (parked in-doubt sessions stay journaled for the next start).
+func serveDurableLAMs(fed *core.Federation, dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var servers []*lam.TCPServer
+	closeAll := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	for i, svc := range demoServices {
+		path := filepath.Join(dir, svc+".journal")
+		j, err := mtlog.OpenParticipant(path)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("%s: %w", svc, err)
+		}
+		addr := fmt.Sprintf("127.0.0.1:%d", lamBasePort+i)
+		ts, err := lam.ServeWith(addr, fed.Server(svc), lam.ServeOptions{
+			Journal:      j,
+			TombstoneTTL: 5 * time.Minute,
+		})
+		if err != nil {
+			j.Close()
+			closeAll()
+			return nil, fmt.Errorf("%s on %s: %w", svc, addr, err)
+		}
+		servers = append(servers, ts)
+		c, err := lam.DialWith(context.Background(), ts.Addr(), lam.DialOptions{})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dial %s: %w", ts.Addr(), err)
+		}
+		fed.RegisterClient(svc, c)
+		if n := len(ts.InDoubt()); n > 0 {
+			fmt.Fprintf(os.Stderr, "lam: %s on %s (journal %s) — %d in-doubt session(s) replayed\n", svc, ts.Addr(), path, n)
+		} else {
+			fmt.Fprintf(os.Stderr, "lam: %s on %s (journal %s)\n", svc, ts.Addr(), path)
+		}
+	}
+	return closeAll, nil
+}
 
 // loadState restores per-service snapshots from dir, skipping services
 // without a snapshot file, then re-imports the restored schemas so the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"msql/internal/dol"
@@ -15,6 +16,7 @@ import (
 	"msql/internal/obs"
 	"msql/internal/sqlparser"
 	"msql/internal/translate"
+	"msql/internal/wire"
 )
 
 // ErrDrained reports that script execution stopped at a statement
@@ -85,15 +87,32 @@ func (f *Federation) Breaker(key string) *lam.BreakerClient {
 }
 
 // txJournal adapts the journal to the engine's TxLog for one plan run.
+// It also collects the remote participants that prepared, so the
+// end-of-multitransaction acknowledgment round (lam.Forget) can release
+// their tombstones and journal entries once the unit is fully terminal.
 type txJournal struct {
 	j    *mtlog.Journal
 	mtid uint64
+
+	mu       sync.Mutex
+	prepared []Participant
 }
 
 func (t *txJournal) TaskPrepared(task, addr string, sessionID int64) {
 	_ = t.j.Append(&mtlog.Record{
 		Type: mtlog.TPrepared, MTID: t.mtid, Task: task, Addr: addr, SessionID: sessionID,
 	})
+	if addr != "" {
+		t.mu.Lock()
+		t.prepared = append(t.prepared, Participant{Addr: addr, SessionID: sessionID})
+		t.mu.Unlock()
+	}
+}
+
+func (t *txJournal) participants() []Participant {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Participant(nil), t.prepared...)
 }
 
 func (t *txJournal) Decision(commit bool, tasks []string) error {
@@ -166,13 +185,42 @@ func (f *Federation) runPlanTraced(ctx context.Context, kind string, prog *dol.P
 	if err := j.Append(begin); err != nil {
 		return nil, fmt.Errorf("core: journal begin: %w", err)
 	}
-	out, err := f.engine.RunLogged(ctx, prog, &txJournal{j: j, mtid: begin.MTID})
+	// The multitransaction id rides to participants on every prepare, so
+	// their journals correlate with ours.
+	ctx = lam.WithMTID(ctx, begin.MTID)
+	tj := &txJournal{j: j, mtid: begin.MTID}
+	out, err := f.engine.RunLogged(ctx, prog, tj)
 	if err == nil && out != nil && len(out.Unresolved) == 0 && !compOwed(meta, out) {
 		_ = j.Append(&mtlog.Record{
 			Type: mtlog.TEnd, MTID: begin.MTID, State: "status=" + strconv.Itoa(out.Status),
 		})
+		// END acknowledgment round: every once-prepared participant may now
+		// forget the session. Best-effort — a lost ack is backstopped by
+		// the participant's tombstone TTL.
+		f.ackParticipants(tj.participants())
 	}
 	return out, err
+}
+
+// ackParticipants tells once-prepared participants their
+// multitransaction is fully terminal (wire.ReqForget), releasing their
+// tombstones and letting their journals compact. Failures are ignored:
+// the acknowledgment is an optimization, not a correctness requirement.
+func (f *Federation) ackParticipants(parts []Participant) {
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		if p.Addr == "" {
+			continue
+		}
+		key := p.Addr + "#" + strconv.FormatInt(p.SessionID, 10)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = lam.Forget(ctx, p.Addr, p.SessionID)
+		cancel()
+	}
 }
 
 // compOwed reports whether a plan that took the abort path left a
@@ -307,6 +355,14 @@ func (f *Federation) Recover(ctx context.Context) (*RecoveryReport, error) {
 
 		if clean {
 			_ = j.Append(&mtlog.Record{Type: mtlog.TEnd, MTID: s.MTID, State: "recovered"})
+			// The unit is fully terminal: acknowledge every once-prepared
+			// remote participant so tombstones and participant journals
+			// can be reclaimed.
+			var parts []Participant
+			for _, prec := range s.Prepared {
+				parts = append(parts, Participant{Addr: prec.Addr, SessionID: prec.SessionID})
+			}
+			f.ackParticipants(parts)
 		}
 	}
 	dropped, err := j.Compact()
@@ -323,7 +379,12 @@ func (f *Federation) appendOutcome(mtid uint64, task string, st uint8) {
 }
 
 // resolveParticipant drives one in-doubt session to its decision under
-// the engine's recovery pacing.
+// the engine's recovery pacing. Transient transport failures — including
+// connection refused while the participant restarts — are retried with
+// backoff; wire.ErrNoSession is the termination-protocol answer, not a
+// failure: a participant with no record of the session either never
+// voted or was acknowledged and allowed to forget, so the logged
+// decision (presumed abort when none) is the outcome.
 func (f *Federation) resolveParticipant(ctx context.Context, addr string, id int64, commit bool) (ldbms.SessionState, error) {
 	var last error
 	for attempt := 0; attempt <= f.engine.Recovery.Attempts; attempt++ {
@@ -339,6 +400,15 @@ func (f *Federation) resolveParticipant(ctx context.Context, addr string, id int
 		cancel()
 		if err == nil {
 			return st, nil
+		}
+		if errors.Is(err, wire.ErrNoSession) {
+			if commit {
+				return ldbms.StateCommitted, nil
+			}
+			return ldbms.StateAborted, nil
+		}
+		if !wire.Transient(err) {
+			return 0, err
 		}
 		last = err
 	}

@@ -318,7 +318,22 @@ func (r *run) recoverInDoubt() {
 			st, err := r.eng.resolve(ctx, addr, id, commit)
 			cancel()
 			if err != nil {
-				continue
+				if errors.Is(err, wire.ErrNoSession) {
+					// Termination protocol: a participant with no record of
+					// the session either never voted or was acknowledged and
+					// forgot. The recorded decision is the definite outcome —
+					// presumed abort when it was rollback.
+					st = ldbms.StateAborted
+					if commit {
+						st = ldbms.StateCommitted
+					}
+				} else if wire.Transient(err) {
+					// Connection refused while the participant restarts (and
+					// its transport kin) — keep trying under the policy.
+					continue
+				} else {
+					break
+				}
 			}
 			if st == ldbms.StateCommitted {
 				rt.setStatus(dol.StatusCommitted, nil)

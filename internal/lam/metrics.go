@@ -28,4 +28,13 @@ var (
 	mServerLatency = obs.Default().HistogramVec("msql_server_request_seconds",
 		"Server-side processing time per operation (excludes wire time).",
 		nil, "op")
+	mTombstones = obs.Default().GaugeVec("msql_lam_tombstones",
+		"Unacknowledged outcome tombstones of once-prepared sessions, per service.",
+		"service")
+	mParked = obs.Default().GaugeVec("msql_lam_parked_sessions",
+		"Parked in-doubt sessions awaiting a coordinator decision, per service.",
+		"service")
+	mReplayed = obs.Default().CounterVec("msql_lam_journal_replayed_total",
+		"Sessions re-materialized from the participant journal at startup, by kind.",
+		"service", "kind")
 )

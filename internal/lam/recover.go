@@ -8,6 +8,46 @@ import (
 	"msql/internal/wire"
 )
 
+// mtidKey carries the coordinator's multitransaction id in a context so
+// the transport can stamp it onto prepare requests.
+type mtidKey struct{}
+
+// WithMTID returns a context carrying the coordinator's multitransaction
+// id. Remote sessions propagate it on wire.ReqPrepare so the
+// participant's journal can correlate its prepared records with the
+// coordinator's journal.
+func WithMTID(ctx context.Context, mtid uint64) context.Context {
+	return context.WithValue(ctx, mtidKey{}, mtid)
+}
+
+// MTIDFrom extracts the multitransaction id from a context (zero when
+// absent — an unjournaled coordinator).
+func MTIDFrom(ctx context.Context) uint64 {
+	if v, ok := ctx.Value(mtidKey{}).(uint64); ok {
+		return v
+	}
+	return 0
+}
+
+// dialResolveConn dials a one-shot recovery connection, wrapping dial
+// failures in *OpError so a refused connection during a participant
+// restart reports its site and stays recognizable to wire.Transient —
+// retry and breaker policies treat it exactly like any other transport
+// fault.
+func dialResolveConn(ctx context.Context, addr string, op wire.ReqKind, sessionID int64) (*rpcConn, error) {
+	opts := DialOptions{}.withDefaults()
+	if _, ok := ctx.Deadline(); !ok {
+		// No caller deadline: still bound each call so a half-dead LAM
+		// cannot hang recovery.
+		opts.CallTimeout = 2 * opts.DialTimeout
+	}
+	conn, err := dialConn(ctx, addr, opts)
+	if err != nil {
+		return nil, &OpError{Addr: addr, Op: op, Session: sessionID, Err: err}
+	}
+	return conn, nil
+}
+
 // Resolve drives one in-doubt participant to the recorded
 // synchronization-point decision. It reconnects to the LAM at addr,
 // re-binds the parked prepared session with wire.ReqAttach, inspects its
@@ -17,16 +57,15 @@ import (
 // acknowledgment was lost — the recorded terminal state is returned
 // without further action.
 //
+// A participant with no record of the session answers wire.ErrNoSession,
+// which Resolve passes through unchanged: under presumed abort that is a
+// definite answer (never voted, or acknowledged and forgotten), not a
+// failure to retry.
+//
 // Resolve performs a single attempt; callers (the DOL engine's recovery
 // loop) bound and pace retries.
 func Resolve(ctx context.Context, addr string, sessionID int64, commit bool) (ldbms.SessionState, error) {
-	opts := DialOptions{}.withDefaults()
-	if _, ok := ctx.Deadline(); !ok {
-		// No caller deadline: still bound each call so a half-dead LAM
-		// cannot hang recovery.
-		opts.CallTimeout = 2 * opts.DialTimeout
-	}
-	conn, err := dialConn(ctx, addr, opts)
+	conn, err := dialResolveConn(ctx, addr, wire.ReqAttach, sessionID)
 	if err != nil {
 		return 0, err
 	}
@@ -56,4 +95,21 @@ func Resolve(ctx context.Context, addr string, sessionID int64, commit bool) (ld
 	// server for coordinators that retry after a lost acknowledgment.
 	_, _ = conn.call(ctx, &wire.Request{Kind: wire.ReqCloseSession, SessionID: sessionID})
 	return final, nil
+}
+
+// Forget delivers the coordinator's end-of-multitransaction
+// acknowledgment for a once-prepared session: the coordinator holds a
+// durable terminal outcome and will never ask again, so the participant
+// may drop its tombstone and compact the session out of its journal.
+// The acknowledgment is idempotent — forgetting an unknown session is a
+// no-op — making it safe to retry or to skip entirely (the participant's
+// tombstone TTL is the backstop).
+func Forget(ctx context.Context, addr string, sessionID int64) error {
+	conn, err := dialResolveConn(ctx, addr, wire.ReqForget, sessionID)
+	if err != nil {
+		return err
+	}
+	defer conn.close()
+	_, err = conn.call(ctx, &wire.Request{Kind: wire.ReqForget, SessionID: sessionID})
+	return err
 }

@@ -443,7 +443,9 @@ func (s *remoteSession) Exec(ctx context.Context, sql string) (*sqlengine.Result
 }
 
 func (s *remoteSession) Prepare(ctx context.Context) error {
-	_, err := s.call(ctx, &wire.Request{Kind: wire.ReqPrepare})
+	// The multitransaction id (when the coordinator journals) rides on the
+	// prepare so the participant's journal can correlate with ours.
+	_, err := s.call(ctx, &wire.Request{Kind: wire.ReqPrepare, MTID: MTIDFrom(ctx)})
 	return err
 }
 

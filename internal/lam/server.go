@@ -3,11 +3,13 @@ package lam
 import (
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"msql/internal/ldbms"
+	"msql/internal/mtlog"
 	"msql/internal/obs"
 	"msql/internal/wire"
 )
@@ -24,25 +26,83 @@ import (
 // rollback. Sessions that reached an outcome after having been prepared
 // leave a tombstone so a coordinator whose commit acknowledgment was lost
 // still learns the definite result.
+//
+// With a participant journal (ServeOptions.Journal) the prepared state
+// itself is durable: the vote does not go on the wire before the
+// session's redo statements are on stable storage, a restarted server
+// re-materializes its in-doubt sessions from the journal, and outcome
+// tombstones survive the process. Tombstones are released by coordinator
+// acknowledgment (wire.ReqForget) or by TTL, whichever comes first, so
+// neither the map nor the journal grows without bound.
 type TCPServer struct {
-	srv *ldbms.Server
-	ln  net.Listener
+	srv     *ldbms.Server
+	ln      net.Listener
+	journal *mtlog.ParticipantJournal
+	opts    ServeOptions
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 
-	sessMu   sync.Mutex
-	nextID   int64
-	detached map[int64]*ldbms.Session     // prepared sessions orphaned by connection loss
-	outcomes map[int64]ldbms.SessionState // terminal states of once-prepared sessions
+	sessMu    sync.Mutex
+	nextID    int64
+	parked    map[int64]*parkedSession
+	tombstone map[int64]tombstone
+	acks      int // ReqForget/TTL evictions since the last compaction
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 
 	errMu    sync.Mutex
 	connErrs []error // non-benign connection errors (see ConnErrors)
 
 	obsMu  sync.Mutex
 	tracer *obs.Tracer // nil = obs.DefaultTracer
+}
+
+// parkedSession is a prepared session orphaned by connection loss,
+// awaiting a coordinator decision. Recovered sessions were
+// re-materialized from the participant journal after a restart rather
+// than parked live.
+type parkedSession struct {
+	sess      *ldbms.Session
+	recovered bool
+}
+
+// tombstone is the recorded terminal state of a once-prepared session,
+// kept until the coordinator acknowledges it (wire.ReqForget) or the
+// TTL expires.
+type tombstone struct {
+	state ldbms.SessionState
+	at    time.Time
+}
+
+// ServeOptions configure participant durability.
+type ServeOptions struct {
+	// Journal, when non-nil, makes prepared-session state durable: votes
+	// are journaled (and fsynced) before they return on the wire, and a
+	// server restarted on the same journal re-materializes its in-doubt
+	// sessions. The server owns the journal from ServeWith on and closes
+	// it in Close.
+	Journal *mtlog.ParticipantJournal
+	// TombstoneTTL bounds how long an unacknowledged outcome tombstone is
+	// retained. Zero keeps tombstones until a coordinator ReqForget (or
+	// server close). Under presumed abort an evicted tombstone is safe:
+	// an asker finding no session is answered ErrNoSession and concludes
+	// abort unless its own journal says commit.
+	TombstoneTTL time.Duration
+	// CompactEvery triggers journal compaction after that many
+	// acknowledgments (ReqForget or TTL eviction). Zero means a default
+	// of 16; compaction only runs when a journal is configured.
+	CompactEvery int
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 16
+	}
+	return o
 }
 
 // SetTracer directs this server's request spans to tr instead of the
@@ -64,30 +124,166 @@ func (t *TCPServer) obsTracer() *obs.Tracer {
 }
 
 // Serve starts serving srv on a fresh listener at addr (use "127.0.0.1:0"
-// for an ephemeral port) and returns immediately.
+// for an ephemeral port) and returns immediately. The server is not
+// durable; use ServeWith to journal prepared-session state.
 func Serve(addr string, srv *ldbms.Server) (*TCPServer, error) {
+	return ServeWith(addr, srv, ServeOptions{})
+}
+
+// ServeWith starts serving srv at addr with participant durability
+// options. When opts.Journal is set, the journal is replayed before the
+// listener accepts its first connection: in-doubt sessions are
+// re-materialized in a recovering-prepared state (re-executing their
+// journaled redo statements and re-preparing), committed-but-unacked
+// sessions have their effects re-applied and leave tombstones, and
+// acknowledged sessions are dropped. A replay failure fails the start —
+// a participant that cannot re-establish its votes must not open for
+// business.
+func ServeWith(addr string, srv *ldbms.Server, opts ServeOptions) (*TCPServer, error) {
+	t := &TCPServer{
+		srv:       srv,
+		journal:   opts.Journal,
+		opts:      opts.withDefaults(),
+		conns:     make(map[net.Conn]struct{}),
+		parked:    make(map[int64]*parkedSession),
+		tombstone: make(map[int64]tombstone),
+	}
+	if t.journal != nil {
+		if err := t.replay(); err != nil {
+			return nil, fmt.Errorf("lam: journal replay: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPServer{
-		srv:      srv,
-		ln:       ln,
-		conns:    make(map[net.Conn]struct{}),
-		detached: make(map[int64]*ldbms.Session),
-		outcomes: make(map[int64]ldbms.SessionState),
+	t.ln = ln
+	if t.opts.TombstoneTTL > 0 {
+		t.janitorStop = make(chan struct{})
+		t.janitorDone = make(chan struct{})
+		go t.janitor()
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
 }
 
+// replay folds the participant journal back into server state; see
+// ServeWith. It runs before the listener exists, so no locking is
+// needed beyond what the ldbms sessions do themselves.
+func (t *TCPServer) replay() error {
+	sessions, err := t.journal.Sessions()
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	for _, ps := range sessions {
+		if ps.SID > t.nextID {
+			// Never reissue a journaled session id: tombstones and parked
+			// sessions are keyed by it.
+			t.nextID = ps.SID
+		}
+		if ps.Acked {
+			continue
+		}
+		switch ps.State {
+		case 0: // still prepared: the in-doubt window spans the restart
+			s, err := t.replaySession(ps)
+			if err != nil {
+				return err
+			}
+			if err := s.Prepare(); err != nil {
+				s.Close()
+				return fmt.Errorf("session %d: re-prepare: %w", ps.SID, err)
+			}
+			t.parked[ps.SID] = &parkedSession{sess: s, recovered: true}
+			// A later prepared round supersedes an earlier committed round's
+			// tombstone for the same id (multi-sync-point programs).
+			delete(t.tombstone, ps.SID)
+			mReplayed.With(t.srv.Name(), "prepared").Inc()
+		case mtlog.StatusCommitted:
+			// The decision arrived and committed, but the coordinator never
+			// acknowledged: the effects must exist after the restart, and
+			// the tombstone must keep answering a retrying coordinator.
+			s, err := t.replaySession(ps)
+			if err != nil {
+				return err
+			}
+			if err := s.Commit(); err != nil {
+				s.Close()
+				return fmt.Errorf("session %d: re-commit: %w", ps.SID, err)
+			}
+			s.Close()
+			t.tombstone[ps.SID] = tombstone{state: ldbms.StateCommitted, at: now}
+			mReplayed.With(t.srv.Name(), "committed").Inc()
+		case mtlog.StatusAborted:
+			// Presumed abort: no effects to re-apply, only the answer.
+			t.tombstone[ps.SID] = tombstone{state: ldbms.StateAborted, at: now}
+			mReplayed.With(t.srv.Name(), "aborted").Inc()
+		}
+	}
+	t.publishGauges()
+	return nil
+}
+
+// replaySession opens a session on the journaled database and re-executes
+// the redo statements in their original order.
+func (t *TCPServer) replaySession(ps *mtlog.PSession) (*ldbms.Session, error) {
+	s, err := t.srv.OpenSession(ps.DB)
+	if err != nil {
+		return nil, fmt.Errorf("session %d: open %s: %w", ps.SID, ps.DB, err)
+	}
+	for _, q := range ps.Redo {
+		if _, err := s.Exec(q); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("session %d: redo %q: %w", ps.SID, q, err)
+		}
+	}
+	return s, nil
+}
+
+// janitor evicts outcome tombstones older than the TTL, standing in for
+// coordinator acknowledgments that never arrived.
+func (t *TCPServer) janitor() {
+	defer close(t.janitorDone)
+	period := t.opts.TombstoneTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.janitorStop:
+			return
+		case <-tick.C:
+			cutoff := time.Now().Add(-t.opts.TombstoneTTL)
+			t.sessMu.Lock()
+			var expired []int64
+			for id, tb := range t.tombstone {
+				if tb.at.Before(cutoff) {
+					expired = append(expired, id)
+					delete(t.tombstone, id)
+				}
+			}
+			t.publishGaugesLocked()
+			t.sessMu.Unlock()
+			for _, id := range expired {
+				t.ack(id)
+			}
+		}
+	}
+}
+
 // Addr returns the listen address.
 func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
 
-// Close stops the listener and all connections. Parked in-doubt sessions
-// are rolled back — a server shutdown aborts unresolved participants —
-// and their outcome recorded.
+// Close stops the listener and all connections. Without a journal,
+// parked in-doubt sessions are rolled back — the shutdown aborts
+// unresolved participants — and their outcome recorded. With a journal
+// they are left journaled: the next ServeWith on the same journal
+// re-materializes them, which is the difference between a crash and an
+// amnesiac restart.
 func (t *TCPServer) Close() error {
 	t.mu.Lock()
 	t.closed = true
@@ -97,13 +293,25 @@ func (t *TCPServer) Close() error {
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
-	t.sessMu.Lock()
-	for id, s := range t.detached {
-		s.Close()
-		t.outcomes[id] = s.State()
-		delete(t.detached, id)
+	if t.janitorStop != nil {
+		close(t.janitorStop)
+		<-t.janitorDone
 	}
+	t.sessMu.Lock()
+	if t.journal == nil {
+		for id, p := range t.parked {
+			p.sess.Close()
+			t.tombstone[id] = tombstone{state: p.sess.State(), at: time.Now()}
+			delete(t.parked, id)
+		}
+	}
+	t.publishGaugesLocked()
 	t.sessMu.Unlock()
+	if t.journal != nil {
+		if jerr := t.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 
@@ -112,11 +320,19 @@ func (t *TCPServer) Close() error {
 func (t *TCPServer) InDoubt() []int64 {
 	t.sessMu.Lock()
 	defer t.sessMu.Unlock()
-	ids := make([]int64, 0, len(t.detached))
-	for id := range t.detached {
+	ids := make([]int64, 0, len(t.parked))
+	for id := range t.parked {
 		ids = append(ids, id)
 	}
 	return ids
+}
+
+// Tombstones reports how many unacknowledged outcome tombstones the
+// server currently retains (for tests and operational inspection).
+func (t *TCPServer) Tombstones() int {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	return len(t.tombstone)
 }
 
 func (t *TCPServer) allocID() int64 {
@@ -129,7 +345,8 @@ func (t *TCPServer) allocID() int64 {
 // park saves a prepared session orphaned by its connection.
 func (t *TCPServer) park(id int64, s *ldbms.Session) {
 	t.sessMu.Lock()
-	t.detached[id] = s
+	t.parked[id] = &parkedSession{sess: s}
+	t.publishGaugesLocked()
 	t.sessMu.Unlock()
 }
 
@@ -138,21 +355,89 @@ func (t *TCPServer) park(id int64, s *ldbms.Session) {
 func (t *TCPServer) attach(id int64) (*ldbms.Session, ldbms.SessionState, bool) {
 	t.sessMu.Lock()
 	defer t.sessMu.Unlock()
-	if s, ok := t.detached[id]; ok {
-		delete(t.detached, id)
-		return s, s.State(), true
+	if p, ok := t.parked[id]; ok {
+		delete(t.parked, id)
+		t.publishGaugesLocked()
+		return p.sess, p.sess.State(), true
 	}
-	if st, ok := t.outcomes[id]; ok {
-		return nil, st, true
+	if tb, ok := t.tombstone[id]; ok {
+		return nil, tb.state, true
 	}
 	return nil, 0, false
 }
 
-// recordOutcome remembers the terminal state of a once-prepared session.
+// recordOutcome remembers the terminal state of a once-prepared session,
+// journaling it when the server is durable (fsynced for commits: the
+// tombstone must answer a retrying coordinator even across a crash).
 func (t *TCPServer) recordOutcome(id int64, st ldbms.SessionState) {
+	if t.journal != nil {
+		status := mtlog.StatusAborted
+		if st == ldbms.StateCommitted {
+			status = mtlog.StatusCommitted
+		}
+		if err := t.journal.Append(&mtlog.Record{Type: mtlog.POutcome, SessionID: id, Status: status}); err != nil {
+			// The local outcome stands regardless; losing the durable
+			// tombstone only matters if we crash before the coordinator
+			// acknowledges, and then presumed abort plus the coordinator's
+			// own journal still terminate correctly. Record for operators.
+			t.noteConnErr(fmt.Errorf("lam: journal outcome session %d: %w", id, err))
+		}
+	}
 	t.sessMu.Lock()
-	t.outcomes[id] = st
+	t.tombstone[id] = tombstone{state: st, at: time.Now()}
+	t.publishGaugesLocked()
 	t.sessMu.Unlock()
+}
+
+// forget handles a coordinator end-of-multitransaction acknowledgment:
+// the tombstone (or nothing — forget is idempotent) is released and the
+// journal eventually compacted.
+func (t *TCPServer) forget(id int64) {
+	t.sessMu.Lock()
+	_, had := t.tombstone[id]
+	delete(t.tombstone, id)
+	t.publishGaugesLocked()
+	t.sessMu.Unlock()
+	if had {
+		t.ack(id)
+	}
+}
+
+// ack journals a PAck for the session and compacts the journal when
+// enough acknowledgments have accumulated.
+func (t *TCPServer) ack(id int64) {
+	if t.journal == nil {
+		return
+	}
+	if err := t.journal.Append(&mtlog.Record{Type: mtlog.PAck, SessionID: id}); err != nil {
+		t.noteConnErr(fmt.Errorf("lam: journal ack session %d: %w", id, err))
+		return
+	}
+	t.sessMu.Lock()
+	t.acks++
+	compact := t.acks >= t.opts.CompactEvery
+	if compact {
+		t.acks = 0
+	}
+	t.sessMu.Unlock()
+	if compact {
+		if _, err := t.journal.Compact(); err != nil {
+			t.noteConnErr(fmt.Errorf("lam: journal compact: %w", err))
+		}
+	}
+}
+
+// publishGauges exports the live tombstone and parked-session counts.
+func (t *TCPServer) publishGauges() {
+	t.sessMu.Lock()
+	t.publishGaugesLocked()
+	t.sessMu.Unlock()
+}
+
+func (t *TCPServer) publishGaugesLocked() {
+	svc := t.srv.Name()
+	mTombstones.With(svc).Set(int64(len(t.tombstone)))
+	mParked.With(svc).Set(int64(len(t.parked)))
 }
 
 func (t *TCPServer) acceptLoop() {
@@ -281,6 +566,9 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 		s, ok := cs.sessions[req.SessionID]
 		return s, ok
 	}
+	noSession := func() *wire.Response {
+		return fail(fmt.Errorf("%w: %d", wire.ErrNoSession, req.SessionID))
+	}
 
 	switch req.Kind {
 	case wire.ReqHello:
@@ -299,7 +587,7 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 	case wire.ReqExec:
 		s, ok := session()
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		res, err := s.Exec(req.SQL)
 		if err != nil {
@@ -313,44 +601,72 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 	case wire.ReqPrepare:
 		s, ok := session()
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		if err := s.Prepare(); err != nil {
 			return fail(err)
+		}
+		if t.journal != nil {
+			// The participant's half of the write-ahead rule: the redo
+			// state (and the multitransaction correlation) reaches stable
+			// storage before the PREPARED vote goes on the wire. If it
+			// cannot, the vote must be NO.
+			rec := &mtlog.Record{Type: mtlog.PPrepared, SessionID: req.SessionID,
+				MTID: req.MTID, DB: s.Database(), Redo: s.Redo()}
+			if err := t.journal.Append(rec); err != nil {
+				_ = s.Rollback()
+				return fail(fmt.Errorf("lam: journal prepare: %w", err))
+			}
 		}
 		cs.prepared[req.SessionID] = true
 	case wire.ReqCommit:
 		s, ok := session()
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		if err := s.Commit(); err != nil {
 			return fail(err)
 		}
+		if cs.prepared[req.SessionID] {
+			// The once-prepared session reached its outcome on a live
+			// connection: record the tombstone now (journaled and fsynced
+			// for commits), so a crash between this reply and the
+			// coordinator's acknowledgment cannot forget the answer. The
+			// session itself stays open — a DOL program may run further
+			// transactions on the same connection alias.
+			t.recordOutcome(req.SessionID, ldbms.StateCommitted)
+			delete(cs.prepared, req.SessionID)
+		}
 	case wire.ReqRollback:
 		s, ok := session()
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		if err := s.Rollback(); err != nil {
 			return fail(err)
 		}
+		if cs.prepared[req.SessionID] {
+			t.recordOutcome(req.SessionID, ldbms.StateAborted)
+			delete(cs.prepared, req.SessionID)
+		}
 	case wire.ReqState:
 		s, ok := session()
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		resp.State = uint8(s.State())
 	case wire.ReqAttach:
 		s, st, ok := t.attach(req.SessionID)
 		if !ok {
-			return fail(errors.New("lam: unknown session"))
+			return noSession()
 		}
 		if s != nil {
 			cs.sessions[req.SessionID] = s
 			cs.prepared[req.SessionID] = true
 		}
 		resp.State = uint8(st)
+	case wire.ReqForget:
+		t.forget(req.SessionID)
 	case wire.ReqCloseSession:
 		if s, ok := session(); ok {
 			s.Close()

@@ -52,6 +52,11 @@ type Session struct {
 	tx          *relstore.Tx
 	state       SessionState
 	lockTimeout time.Duration
+	// redo holds the effect-bearing SQL of the open transaction in
+	// execution order, so a participant journal can re-materialize a
+	// prepared session on a restarted server. Cleared whenever the
+	// transaction reaches an outcome (commit, rollback, autocommit).
+	redo []string
 }
 
 // Database returns the connected database name.
@@ -79,7 +84,18 @@ func (s *Session) beginLocked() *relstore.Tx {
 	}
 	s.tx = tx
 	s.state = StateActive
+	s.redo = nil
 	return tx
+}
+
+// Redo returns the effect-bearing SQL statements of the open transaction
+// in execution order — what a restarted server must re-execute to bring
+// a prepared transaction back to its voted state. Empty outside an open
+// transaction.
+func (s *Session) Redo() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.redo...)
 }
 
 // Exec parses and executes one SQL statement. Errors abort the open
@@ -137,7 +153,10 @@ func (s *Session) execStmt(sql string, stmt sqlparser.Statement) (*sqlengine.Res
 		}
 		s.tx = nil
 		s.state = StateCommitted
+		s.redo = nil
 		s.srv.bump(func(st *Stats) { st.Commits++; st.SilentCommits++ })
+	} else if class != ClassSelect {
+		s.redo = append(s.redo, sql)
 	}
 	return res, nil
 }
@@ -185,6 +204,7 @@ func (s *Session) Commit() error {
 	}
 	s.tx = nil
 	s.state = StateCommitted
+	s.redo = nil
 	s.srv.bump(func(st *Stats) { st.Commits++ })
 	return nil
 }
@@ -208,6 +228,7 @@ func (s *Session) abortLocked() {
 		s.srv.bump(func(st *Stats) { st.Rollbacks++ })
 	}
 	s.state = StateAborted
+	s.redo = nil
 }
 
 // Close rolls back any open transaction.

@@ -38,24 +38,8 @@ type Journal struct {
 // records land on a valid prefix. Corruption beyond a torn tail is
 // handled the same way: the valid prefix is kept, the rest dropped.
 func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, recs, err := openValidPrefix(path)
 	if err != nil {
-		return nil, err
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	recs, validEnd, derr := DecodeAll(data)
-	if derr != nil {
-		if terr := f.Truncate(int64(validEnd)); terr != nil {
-			f.Close()
-			return nil, terr
-		}
-	}
-	if _, err := f.Seek(int64(validEnd), 0); err != nil {
-		f.Close()
 		return nil, err
 	}
 	j := &Journal{f: f, path: path, nextID: 1}
@@ -297,6 +281,12 @@ func (r *Record) String() string {
 		return fmt.Sprintf("mt%d outcome %s=%d", r.MTID, r.Task, r.Status)
 	case TEnd:
 		return fmt.Sprintf("mt%d end %s", r.MTID, r.State)
+	case PPrepared:
+		return fmt.Sprintf("session %d prepared (mt%d, db %s, %d redo stmts)", r.SessionID, r.MTID, r.DB, len(r.Redo))
+	case POutcome:
+		return fmt.Sprintf("session %d outcome %d", r.SessionID, r.Status)
+	case PAck:
+		return fmt.Sprintf("session %d acked", r.SessionID)
 	default:
 		return fmt.Sprintf("mt%d %s", r.MTID, r.Type)
 	}

@@ -1,0 +1,267 @@
+package mtlog
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"time"
+
+	"msql/internal/obs"
+)
+
+// Participant-journal metrics. The prepare fsync is the participant's
+// half of the write-ahead rule: the vote may not go on the wire before
+// the redo state is durable.
+var (
+	mPAppends = obs.Default().CounterVec("msql_lam_journal_appends_total",
+		"Participant-journal records appended, by record type.", "type")
+	mPFsync = obs.Default().Histogram("msql_lam_journal_fsync_seconds",
+		"Latency of the fsync forced by prepared/commit-outcome appends.", nil)
+)
+
+// openValidPrefix opens (creating if needed) the journal file at path,
+// decodes its valid prefix, and truncates any torn tail left by a
+// crashed append so new records land on a valid prefix. Corruption
+// beyond a torn tail is handled the same way: the valid prefix is kept,
+// the rest dropped.
+func openValidPrefix(path string) (*os.File, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, validEnd, derr := DecodeAll(data)
+	if derr != nil {
+		if terr := f.Truncate(int64(validEnd)); terr != nil {
+			f.Close()
+			return nil, nil, terr
+		}
+	}
+	if _, err := f.Seek(int64(validEnd), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, recs, nil
+}
+
+// ParticipantJournal is a LAM server's durable prepared-state log: the
+// participant half of the §3.2.2 in-doubt window. It records sessions
+// entering the prepared-to-commit state (with the redo statements needed
+// to re-materialize them after a restart), the terminal outcomes of
+// once-prepared sessions (durable tombstones), and coordinator
+// end-of-multitransaction acknowledgments that release both.
+//
+// It shares the CRC32-framed record format with the coordinator journal
+// but has its own append/fsync and compaction semantics: PPrepared and
+// committed POutcome records are forced to stable storage before Append
+// returns; compaction drops sessions the coordinator has acknowledged.
+type ParticipantJournal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// OpenParticipant opens (creating if needed) the participant journal at
+// path, truncating any torn tail so new records land on a valid prefix.
+func OpenParticipant(path string) (*ParticipantJournal, error) {
+	f, _, err := openValidPrefix(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ParticipantJournal{f: f, path: path}, nil
+}
+
+// Path returns the journal file path.
+func (j *ParticipantJournal) Path() string { return j.path }
+
+// Append writes one record. PPrepared records and committed POutcome
+// records are forced to stable storage before Append returns — the vote
+// and the commit tombstone must survive a crash. Abort outcomes and acks
+// ride on the next sync: presumed abort makes their loss harmless.
+func (j *ParticipantJournal) Append(rec *Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("mtlog: participant journal closed")
+	}
+	buf, err := appendRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if rec.Type == PPrepared || (rec.Type == POutcome && rec.Status == StatusCommitted) {
+		start := time.Now()
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		mPFsync.ObserveSince(start)
+	}
+	mPAppends.With(rec.Type.String()).Inc()
+	return nil
+}
+
+// Records returns every record currently in the journal (its valid
+// prefix).
+func (j *ParticipantJournal) Records() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recordsLocked()
+}
+
+func (j *ParticipantJournal) recordsLocked() ([]Record, error) {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _ := DecodeAll(data)
+	return recs, nil
+}
+
+// PSession is the reconstructed journal state of one once-prepared
+// session. State 0 means still prepared (in-doubt); otherwise it is the
+// recorded terminal StatusCommitted/StatusAborted.
+type PSession struct {
+	SID   int64
+	MTID  uint64
+	DB    string
+	Redo  []string
+	State uint8
+	Acked bool
+}
+
+// ReconstructParticipant folds a record sequence into per-session
+// states, returned in first-appearance (prepare) order. Because a local
+// session holds its locks from prepare to commit, prepare order is a
+// valid replay order for re-applying redo state after a restart.
+//
+// A session id can prepare more than once: a DOL program with several
+// synchronization points reuses its connection, so a new PPrepared over
+// an already-terminal state opens a new round. Each round is returned as
+// its own PSession (same SID, in order); an ack covers every round of
+// the id, since acknowledgment happens after the whole multitransaction.
+func ReconstructParticipant(recs []Record) []*PSession {
+	byID := map[int64]*PSession{}
+	var order []*PSession
+	get := func(id int64) *PSession {
+		if s, ok := byID[id]; ok {
+			return s
+		}
+		s := &PSession{SID: id}
+		byID[id] = s
+		order = append(order, s)
+		return s
+	}
+	for i := range recs {
+		r := &recs[i]
+		switch r.Type {
+		case PPrepared:
+			s := get(r.SessionID)
+			if s.State != 0 {
+				// A fresh prepare over a terminal round: start a new round
+				// for the same id.
+				s = &PSession{SID: r.SessionID}
+				byID[r.SessionID] = s
+				order = append(order, s)
+			}
+			s.MTID, s.DB, s.Redo = r.MTID, r.DB, r.Redo
+		case POutcome:
+			get(r.SessionID).State = r.Status
+		case PAck:
+			for _, s := range order {
+				if s.SID == r.SessionID {
+					s.Acked = true
+				}
+			}
+		}
+	}
+	return order
+}
+
+// Sessions reads and reconstructs the journal's session states.
+func (j *ParticipantJournal) Sessions() ([]*PSession, error) {
+	recs, err := j.Records()
+	if err != nil {
+		return nil, err
+	}
+	return ReconstructParticipant(recs), nil
+}
+
+// Compact rewrites the journal keeping only sessions that still carry an
+// obligation: prepared sessions awaiting a decision and terminal
+// sessions the coordinator has not acknowledged. Acknowledged sessions
+// are dropped. The rewrite goes through a temp file and rename so a
+// crash mid-compaction leaves either the old or the new journal, never a
+// mix.
+func (j *ParticipantJournal) Compact() (dropped int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, errors.New("mtlog: participant journal closed")
+	}
+	recs, err := j.recordsLocked()
+	if err != nil {
+		return 0, err
+	}
+	acked := map[int64]bool{}
+	for _, r := range recs {
+		if r.Type == PAck {
+			acked[r.SessionID] = true
+		}
+	}
+	var buf []byte
+	for i := range recs {
+		if acked[recs[i].SessionID] {
+			continue
+		}
+		if buf, err = appendRecord(buf, &recs[i]); err != nil {
+			return 0, err
+		}
+	}
+	tmp := j.path + ".compact"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, err
+	}
+	nf, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	if _, err := nf.Seek(int64(len(buf)), 0); err != nil {
+		nf.Close()
+		return 0, err
+	}
+	old := j.f
+	j.f = nf
+	old.Close()
+	return len(acked), nil
+}
+
+// Close syncs and closes the journal file.
+func (j *ParticipantJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -69,6 +69,28 @@ const (
 	TEnd
 )
 
+// Participant-side record types (the LAM's prepared-state journal, see
+// ParticipantJournal). They share the frame format and Record union with
+// the coordinator records but never appear in the same file.
+const (
+	// PPrepared records one local session entering the prepared-to-commit
+	// window: the session id a recovering coordinator re-attaches by, the
+	// coordinator's multitransaction id, and the deparsed redo statements
+	// needed to re-materialize the transaction on a restarted server. It
+	// is forced to stable storage before the PREPARED vote goes on the
+	// wire.
+	PPrepared Type = iota + 16
+	// POutcome records the terminal state of a once-prepared session (its
+	// durable tombstone). Commit outcomes are forced to stable storage;
+	// abort outcomes ride on the next sync — presumed abort covers their
+	// loss.
+	POutcome
+	// PAck records the coordinator's end-of-multitransaction
+	// acknowledgment for a session: its journal state carries no further
+	// obligation and is dropped at the next compaction.
+	PAck
+)
+
 func (t Type) String() string {
 	switch t {
 	case TBegin:
@@ -81,6 +103,12 @@ func (t Type) String() string {
 		return "outcome"
 	case TEnd:
 		return "end"
+	case PPrepared:
+		return "p-prepared"
+	case POutcome:
+		return "p-outcome"
+	case PAck:
+		return "p-ack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -135,11 +163,19 @@ type Record struct {
 	// TDecision
 	Commit  bool     `json:"commit,omitempty"`
 	Decided []string `json:"decided,omitempty"`
-	// TOutcome
+	// TOutcome, POutcome
 	Status uint8 `json:"status,omitempty"`
 
 	// TEnd
 	State string `json:"state,omitempty"`
+
+	// PPrepared: the database the session is connected to and the
+	// deparsed redo statements of its open transaction, in execution
+	// order. SessionID identifies the session in every P* record; MTID
+	// carries the coordinator's multitransaction id (0 when the
+	// coordinator runs unjournaled).
+	DB   string   `json:"pdb,omitempty"`
+	Redo []string `json:"redo,omitempty"`
 }
 
 // appendRecord encodes one record frame onto buf.

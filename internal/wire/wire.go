@@ -45,12 +45,19 @@ const (
 	// commit/rollback. For sessions already resolved after detaching, the
 	// response carries the recorded terminal state instead of binding.
 	ReqAttach
+	// ReqForget is the coordinator's end-of-multitransaction
+	// acknowledgment for a once-prepared session: the coordinator has a
+	// durable terminal outcome and will never ask about the session
+	// again, so the participant may evict its tombstone and compact the
+	// session out of its journal. Forgetting an unknown session is a
+	// no-op, making the acknowledgment idempotent and safe to retry.
+	ReqForget
 )
 
 func (k ReqKind) String() string {
 	names := [...]string{"hello", "profile", "open", "exec", "prepare", "commit",
 		"rollback", "state", "close-session", "describe", "list-tables", "list-views",
-		"attach"}
+		"attach", "forget"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -73,6 +80,12 @@ type Request struct {
 	// fields), keeping the protocol compatible in both directions.
 	TraceID    string
 	ParentSpan uint64
+	// MTID is the coordinator's multitransaction id, riding on
+	// ReqPrepare so the participant's prepared-state journal can
+	// correlate its session records with the coordinator's journal. Zero
+	// when the coordinator runs unjournaled; ignored by servers
+	// predating participant durability.
+	MTID uint64
 }
 
 // Column mirrors relstore.Column across the wire.
@@ -140,6 +153,14 @@ func (w Profile) ToProfile() ldbms.Profile {
 	return p
 }
 
+// ErrNoSession reports that a server has no live session, parked
+// in-doubt session, or outcome tombstone under the requested id. It is a
+// definite answer, not a transport failure: under presumed abort a
+// participant with no record of a session either never voted or was
+// already acknowledged and allowed to forget, so the coordinator can
+// terminate the protocol from its own journal instead of retrying.
+var ErrNoSession = errors.New("wire: unknown session")
+
 // Error codes preserved across the wire so errors.Is keeps working for
 // the sentinels the coordinator's plans branch on.
 const (
@@ -150,6 +171,7 @@ const (
 	CodeState       = "session-state"
 	CodeNoTable     = "no-table"
 	CodeNoDatabase  = "no-database"
+	CodeNoSession   = "no-session"
 	CodeOther       = "error"
 )
 
@@ -171,6 +193,8 @@ func EncodeError(err error) (code, msg string) {
 		code = CodeNoTable
 	case errors.Is(err, relstore.ErrNoDatabase):
 		code = CodeNoDatabase
+	case errors.Is(err, ErrNoSession):
+		code = CodeNoSession
 	default:
 		code = CodeOther
 	}
@@ -197,6 +221,8 @@ func DecodeError(code, msg string) error {
 		sentinel = relstore.ErrNoTable
 	case CodeNoDatabase:
 		sentinel = relstore.ErrNoDatabase
+	case CodeNoSession:
+		sentinel = ErrNoSession
 	default:
 		return errors.New(msg)
 	}
