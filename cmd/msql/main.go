@@ -10,6 +10,8 @@
 //	msql -e "USE avis national" -e "SELECT %code FROM car%"
 //	msql -autocommit-cont # continental on an autocommit-only service
 //	msql -journal mt.j -lam-journal lamj/  # durable 2PC on both sides
+//	msql -serve 127.0.0.1:7940 -max-sessions 64 -max-concurrent 8 \
+//	     -journal mt.j -group-commit-window 2ms  # concurrent coordinator
 //
 // In the shell, terminate statements with ';' or an empty line. The
 // commands .dol on/.dol off toggle echoing the generated DOL programs,
@@ -30,10 +32,12 @@ import (
 	"strings"
 	"time"
 
+	"msql/internal/admit"
 	"msql/internal/core"
 	"msql/internal/demo"
 	"msql/internal/dol"
 	"msql/internal/lam"
+	"msql/internal/mdserver"
 	"msql/internal/mtlog"
 	"msql/internal/obs"
 	"msql/internal/translate"
@@ -58,6 +62,14 @@ func realMain() int {
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open trial")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 		showTrace   = flag.Bool("trace", false, "print the per-task timing tree of each executed script")
+
+		serveAddr   = flag.String("serve", "", "serve the federation to concurrent remote clients on this address instead of running a shell (SIGINT shuts down)")
+		maxSessions = flag.Int("max-sessions", 0, "serve mode: connection cap; clients beyond it are answered with an overload error (0 = unlimited)")
+		maxConc     = flag.Int("max-concurrent", 0, "statements executing at once before admission queues by tenant (0 = ungated)")
+		tenantQueue = flag.Int("tenant-queue", 8, "queued statements allowed per tenant when -max-concurrent gates; excess is shed with an overload error")
+		admitWait   = flag.Duration("admit-wait", 100*time.Millisecond, "longest a statement waits in the admission queue before being shed")
+		stmtTimeout = flag.Duration("stmt-timeout", 0, "per-statement execution timeout (0 = unbounded)")
+		groupWindow = flag.Duration("group-commit-window", 0, "journal group-commit batch window: decisions arriving within it share one fsync (0 = every record fsyncs)")
 	)
 	var execs multiFlag
 	flag.Var(&execs, "e", "MSQL statement to execute (repeatable)")
@@ -108,6 +120,9 @@ func realMain() int {
 			return 1
 		}
 		defer j.Close()
+		if *groupWindow > 0 {
+			j.SetGroupCommit(*groupWindow)
+		}
 		fed.SetJournal(j)
 		rep, err := fed.Recover(context.Background())
 		if err != nil {
@@ -115,6 +130,16 @@ func realMain() int {
 			return 1
 		}
 		printRecovery(os.Stderr, rep)
+	}
+	if *maxConc > 0 {
+		fed.SetAdmission(admit.New(admit.Config{
+			MaxConcurrent:     *maxConc,
+			MaxQueuePerTenant: *tenantQueue,
+			MaxWait:           *admitWait,
+		}))
+	}
+	if *stmtTimeout > 0 {
+		fed.StmtTimeout = *stmtTimeout
 	}
 
 	// First SIGINT drains: execution stops at the next statement boundary,
@@ -130,6 +155,23 @@ func realMain() int {
 		signal.Stop(sigCh)
 	}()
 	fed.SetDrain(drain)
+
+	// Serve mode: the federation becomes a long-running concurrent
+	// coordinator; each accepted connection is an isolated session running
+	// its own multitransactions in parallel with the others. The SIGINT
+	// drain doubles as the shutdown signal.
+	if *serveAddr != "" {
+		srv, err := mdserver.Serve(*serveAddr, fed, mdserver.Options{MaxSessions: *maxSessions})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "msql: serving on %s (max-sessions %d, max-concurrent %d)\n",
+			srv.Addr(), *maxSessions, *maxConc)
+		<-drain
+		srv.Close()
+		return 0
+	}
 
 	run := func(src string) bool {
 		return runSource(fed, src, *showDOL, *showTrace, os.Stdout, os.Stderr)

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msql/internal/core"
+	"msql/internal/ldbms"
+	"msql/internal/mdserver"
+	"msql/internal/mtlog"
+)
+
+// concReport is the machine-readable form of one concurrency run,
+// written as BENCH_concurrency.json and consumed by -baseline for
+// regression smoke checks.
+type concReport struct {
+	GeneratedAt         string  `json:"generated_at"`
+	Clients             int     `json:"clients"`
+	OpsPerClient        int     `json:"ops_per_client"`
+	GroupCommitWindowMS float64 `json:"group_commit_window_ms"`
+	Commits             int64   `json:"commits"`
+	Aborts              int64   `json:"aborts"`
+	ElapsedMS           float64 `json:"elapsed_ms"`
+	OpsPerSec           float64 `json:"ops_per_sec"`
+	P50MS               float64 `json:"p50_ms"`
+	P99MS               float64 `json:"p99_ms"`
+	// SyncRecords counts journaled sync (decision) batches; Fsyncs the
+	// fsync calls that made them durable. Group commit is working when
+	// fsyncs < sync records: one flush acknowledged many decisions.
+	SyncRecords int64 `json:"sync_records"`
+	Fsyncs      int64 `json:"fsyncs"`
+}
+
+// benchFederation builds a two-site federation with one disjoint table
+// pair per client, so the run measures coordinator pipeline and group
+// commit rather than storage lock contention.
+func benchFederation(clients int) (*core.Federation, error) {
+	fed := core.New()
+	for _, s := range []struct{ svc, db string }{
+		{"svc_delta", "delta"},
+		{"svc_unit", "united"},
+	} {
+		srv := fed.AddLocalService(s.svc, ldbms.ProfileOracleLike(), 0)
+		if err := srv.CreateDatabase(s.db); err != nil {
+			return nil, err
+		}
+		sess, err := srv.OpenSession(s.db)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < clients; i++ {
+			ddl := fmt.Sprintf("CREATE TABLE bench%03d (id INTEGER, who CHAR(20), amt FLOAT)", i)
+			if _, err := sess.Exec(ddl); err != nil {
+				return nil, fmt.Errorf("bootstrap %s: %w", s.db, err)
+			}
+		}
+		if err := sess.Commit(); err != nil {
+			return nil, err
+		}
+		sess.Close()
+	}
+	setup := `
+INCORPORATE SERVICE svc_delta CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+INCORPORATE SERVICE svc_unit CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE delta FROM SERVICE svc_delta;
+IMPORT DATABASE united FROM SERVICE svc_unit;
+`
+	if _, err := fed.ExecScript(setup); err != nil {
+		return nil, err
+	}
+	return fed, nil
+}
+
+// runConcurrency serves the bench federation over the wire protocol and
+// drives N concurrent client connections, each committing two-site
+// %-fanout vital units. It reports throughput, latency percentiles, and
+// the journal's sync-vs-fsync counts proving group commit batched.
+func runConcurrency(clients, ops int, window time.Duration, jsonPath, baselinePath string) error {
+	fed, err := benchFederation(clients)
+	if err != nil {
+		return fmt.Errorf("build federation: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "msqlbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	j, err := mtlog.Open(filepath.Join(dir, "coord.journal"))
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	j.SetGroupCommit(window)
+	fed.SetJournal(j)
+
+	srv, err := mdserver.Serve("127.0.0.1:0", fed, mdserver.Options{MaxSessions: clients + 4})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	var commits, aborts atomic.Int64
+	latCh := make(chan []time.Duration, clients)
+	errCh := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := mdserver.Dial(srv.Addr(), fmt.Sprintf("t%d", i%4))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			lats := make([]time.Duration, 0, ops)
+			for n := 0; n < ops; n++ {
+				src := fmt.Sprintf(`USE delta VITAL united VITAL;
+INSERT INTO bench%03d%% VALUES (%d, 'c%d', 1.0);
+COMMIT;`, i, i*1_000_000+n, i)
+				opStart := time.Now()
+				res, err := c.Script(context.Background(), src)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d op %d: %w", i, n, err)
+					return
+				}
+				committed := false
+				for _, r := range res {
+					if r.Kind == "sync" && r.State == "success" {
+						committed = true
+					}
+				}
+				if committed {
+					commits.Add(1)
+					lats = append(lats, time.Since(opStart))
+				} else {
+					aborts.Add(1)
+				}
+			}
+			latCh <- lats
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	close(latCh)
+	for err := range errCh {
+		return err
+	}
+
+	var lats []time.Duration
+	for l := range latCh {
+		lats = append(lats, l...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p int) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[(len(lats)*p)/100].Microseconds()) / 1000
+	}
+	syncs, fsyncs := j.SyncStats()
+
+	rep := &concReport{
+		GeneratedAt:         time.Now().UTC().Format(time.RFC3339),
+		Clients:             clients,
+		OpsPerClient:        ops,
+		GroupCommitWindowMS: float64(window.Microseconds()) / 1000,
+		Commits:             commits.Load(),
+		Aborts:              aborts.Load(),
+		ElapsedMS:           float64(elapsed.Microseconds()) / 1000,
+		OpsPerSec:           float64(commits.Load()) / elapsed.Seconds(),
+		P50MS:               pct(50),
+		P99MS:               pct(99),
+		SyncRecords:         syncs,
+		Fsyncs:              fsyncs,
+	}
+
+	fmt.Printf("== Concurrency: %d clients x %d two-site commit units ==\n", clients, ops)
+	fmt.Printf("committed %d units (%d aborts) in %v: %.0f units/sec, p50 %.2fms, p99 %.2fms\n",
+		rep.Commits, rep.Aborts, elapsed.Round(time.Millisecond), rep.OpsPerSec, rep.P50MS, rep.P99MS)
+	fmt.Printf("journal: %d sync records, %d fsyncs (group commit window %v)\n", syncs, fsyncs, window)
+	if fsyncs < syncs {
+		fmt.Printf("group commit batched: %.1f decisions per fsync\n", float64(syncs)/float64(fsyncs))
+	} else {
+		fmt.Printf("warning: no group-commit batching observed (fsyncs >= sync records)\n")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+
+	if baselinePath != "" {
+		base := &concReport{}
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if base.OpsPerSec > 0 && rep.OpsPerSec < base.OpsPerSec/2 {
+			return fmt.Errorf("throughput regression: %.0f units/sec is under half the baseline %.0f",
+				rep.OpsPerSec, base.OpsPerSec)
+		}
+		fmt.Printf("baseline check passed: %.0f units/sec vs baseline %.0f (floor %.0f)\n",
+			rep.OpsPerSec, base.OpsPerSec, base.OpsPerSec/2)
+	}
+	return nil
+}

@@ -8,6 +8,13 @@
 //	msqlbench            # run everything
 //	msqlbench -only B1   # run one experiment
 //	msqlbench -quick     # smaller sizes for a fast pass
+//
+// With -clients N it instead runs the concurrency benchmark: N client
+// connections against a served coordinator, each committing two-site
+// vital units through a group-committing journal, reporting throughput,
+// latency percentiles, and the decisions-per-fsync batching ratio
+// (written as BENCH_concurrency.json; -baseline FILE fails the run if
+// throughput drops under half a recorded baseline).
 package main
 
 import (
@@ -40,8 +47,25 @@ func main() {
 		only     = flag.String("only", "", "run a single experiment (E1..E5, F1, F2, B1..B8)")
 		quick    = flag.Bool("quick", false, "reduced sizes for a fast pass")
 		jsonPath = flag.String("json", "BENCH_obs.json", "write experiment tables and a metrics snapshot to this JSON file (empty disables)")
+
+		clients  = flag.Int("clients", 0, "run the concurrency benchmark with this many concurrent client sessions (0 runs the experiments)")
+		opsPer   = flag.Int("ops", 50, "operations per client in -clients mode")
+		window   = flag.Duration("window", 2*time.Millisecond, "group-commit batch window in -clients mode")
+		baseline = flag.String("baseline", "", "baseline BENCH_concurrency.json: fail if throughput falls under half of it")
 	)
 	flag.Parse()
+
+	if *clients > 0 {
+		out := *jsonPath
+		if out == "BENCH_obs.json" {
+			out = "BENCH_concurrency.json"
+		}
+		if err := runConcurrency(*clients, *opsPer, *window, out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "concurrency bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	iters := 200
 	b1Rows, b1Iters := 3000, 5

@@ -1,0 +1,234 @@
+// Package admit is the coordinator's admission-control gate: it sits
+// between client sessions and the DOL engine and decides, per statement,
+// whether the federation takes the work now, queues it briefly, or sheds
+// it with ErrOverload.
+//
+// The controller grants a bounded number of concurrent execution slots
+// (the engine, journal flusher, and site connections behind them are the
+// real capacity). Statements beyond that wait in bounded per-tenant FIFO
+// queues served round-robin, so one chatty tenant cannot starve the
+// others. A queue that is full, or a wait that exceeds MaxWait, sheds the
+// request immediately — overload is always answered with an explicit
+// error, never with unbounded queue growth or silent latency.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"msql/internal/obs"
+)
+
+// ErrOverload reports that admission control shed the request: the
+// federation is saturated and the statement was never started. Clients
+// may retry with backoff; nothing was executed and no site was touched.
+var ErrOverload = errors.New("admit: overloaded, request shed")
+
+var (
+	mActive = obs.Default().Gauge("msql_admit_active",
+		"Statements currently holding an admission slot.")
+	mQueued = obs.Default().Gauge("msql_admit_queued",
+		"Statements currently waiting in admission queues.")
+	mShed = obs.Default().CounterVec("msql_admit_shed_total",
+		"Statements shed by admission control, by reason.", "reason")
+	mAdmitted = obs.Default().CounterVec("msql_admit_admitted_total",
+		"Statements admitted, by tenant.", "tenant")
+	mWait = obs.Default().Histogram("msql_admit_wait_seconds",
+		"Time statements spent queued before admission.", nil)
+)
+
+// Config bounds the controller. Zero values pick serviceable defaults.
+type Config struct {
+	// MaxConcurrent is the number of statements allowed to execute at
+	// once across all tenants (default 8).
+	MaxConcurrent int
+	// MaxQueuePerTenant caps each tenant's wait queue; an arrival beyond
+	// it is shed immediately (default 16).
+	MaxQueuePerTenant int
+	// MaxWait is the longest a statement may sit queued before it is
+	// shed (default 2s).
+	MaxWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueuePerTenant <= 0 {
+		c.MaxQueuePerTenant = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Second
+	}
+	return c
+}
+
+// waiter is one queued acquisition. The grantor sets granted and sends on
+// ch under the controller lock; an expiring waiter marks itself abandoned
+// and removes itself, so a slot is never handed to a departed caller.
+type waiter struct {
+	tenant  string
+	ch      chan struct{}
+	since   time.Time
+	granted bool
+}
+
+// Controller is a fair admission gate. The zero value is not usable; see
+// New. A nil *Controller admits everything (gating disabled).
+type Controller struct {
+	cfg Config
+
+	mu     sync.Mutex
+	active int
+	queued int
+	queues map[string][]*waiter
+	ring   []string // tenants with waiters, round-robin order
+	next   int      // ring cursor
+}
+
+// New returns a controller enforcing cfg.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults(), queues: make(map[string][]*waiter)}
+}
+
+// Acquire obtains an execution slot for tenant, waiting fairly behind
+// earlier arrivals. It returns a release function that must be called
+// exactly once when the statement finishes. Saturation is reported as an
+// error wrapping ErrOverload; a canceled context returns ctx.Err(). A nil
+// controller admits immediately.
+func (c *Controller) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	c.mu.Lock()
+	if c.active < c.cfg.MaxConcurrent && c.queued == 0 {
+		c.active++
+		c.mu.Unlock()
+		mActive.Add(1)
+		mAdmitted.With(tenant).Inc()
+		return c.releaseFn(), nil
+	}
+	if len(c.queues[tenant]) >= c.cfg.MaxQueuePerTenant {
+		c.mu.Unlock()
+		mShed.With("queue-full").Inc()
+		return nil, fmt.Errorf("tenant %q: queue full: %w", tenant, ErrOverload)
+	}
+	w := &waiter{tenant: tenant, ch: make(chan struct{}, 1), since: time.Now()}
+	if len(c.queues[tenant]) == 0 {
+		c.ring = append(c.ring, tenant)
+	}
+	c.queues[tenant] = append(c.queues[tenant], w)
+	c.queued++
+	c.mu.Unlock()
+	mQueued.Add(1)
+
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		mQueued.Add(-1)
+		mWait.ObserveSince(w.since)
+		mActive.Add(1)
+		mAdmitted.With(tenant).Inc()
+		return c.releaseFn(), nil
+	case <-timer.C:
+		if c.tryAbandon(w) {
+			mQueued.Add(-1)
+			mShed.With("timeout").Inc()
+			return nil, fmt.Errorf("tenant %q: waited %v: %w", tenant, c.cfg.MaxWait, ErrOverload)
+		}
+	case <-ctx.Done():
+		if c.tryAbandon(w) {
+			mQueued.Add(-1)
+			mShed.With("canceled").Inc()
+			return nil, ctx.Err()
+		}
+	}
+	// Lost the race: a grant was already in flight while we were timing
+	// out. The slot is ours — use it rather than leak it.
+	<-w.ch
+	mQueued.Add(-1)
+	mWait.ObserveSince(w.since)
+	mActive.Add(1)
+	mAdmitted.With(tenant).Inc()
+	return c.releaseFn(), nil
+}
+
+// tryAbandon removes w from its queue if it has not been granted yet.
+func (c *Controller) tryAbandon(w *waiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	q := c.queues[w.tenant]
+	for i, x := range q {
+		if x == w {
+			c.queues[w.tenant] = append(q[:i], q[i+1:]...)
+			c.queued--
+			break
+		}
+	}
+	return true
+}
+
+// releaseFn returns the once-only release closure for a granted slot. On
+// release the slot is handed directly to the next queued waiter
+// (round-robin over tenants) when one exists, keeping active at the cap
+// under sustained load.
+func (c *Controller) releaseFn() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			if !c.grantNextLocked() {
+				c.active--
+			}
+			c.mu.Unlock()
+			mActive.Add(-1)
+		})
+	}
+}
+
+// grantNextLocked hands the caller's slot to the next waiter in
+// round-robin tenant order. Callers must hold c.mu.
+func (c *Controller) grantNextLocked() bool {
+	for len(c.ring) > 0 {
+		if c.next >= len(c.ring) {
+			c.next = 0
+		}
+		t := c.ring[c.next]
+		q := c.queues[t]
+		if len(q) == 0 {
+			c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
+			delete(c.queues, t)
+			continue
+		}
+		w := q[0]
+		c.queues[t] = q[1:]
+		c.queued--
+		if len(c.queues[t]) == 0 {
+			c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
+			delete(c.queues, t)
+		} else {
+			c.next++
+		}
+		w.granted = true
+		w.ch <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// Stats reports the current slot and queue occupancy.
+func (c *Controller) Stats() (active, queued int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active, c.queued
+}

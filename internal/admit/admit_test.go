@@ -1,0 +1,220 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestImmediateAdmission(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2})
+	ctx := context.Background()
+	r1, err := c.Acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active, _ := c.Stats(); active != 2 {
+		t.Fatalf("active = %d, want 2", active)
+	}
+	r1()
+	r2()
+	r2() // double release must be a no-op
+	if active, queued := c.Stats(); active != 0 || queued != 0 {
+		t.Fatalf("after release: active=%d queued=%d", active, queued)
+	}
+}
+
+func TestShedOnWaitTimeout(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxWait: 30 * time.Millisecond})
+	release, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = c.Acquire(context.Background(), "b")
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %v, want ~MaxWait", d)
+	}
+	if _, queued := c.Stats(); queued != 0 {
+		t.Fatalf("abandoned waiter left in queue (queued=%d)", queued)
+	}
+}
+
+func TestShedOnFullQueue(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueuePerTenant: 1, MaxWait: time.Second})
+	release, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			// Give the waiter time to enqueue, then let it out.
+			time.Sleep(100 * time.Millisecond)
+			cancel()
+		}()
+		c.Acquire(ctx, "a") //nolint:errcheck
+	}()
+	// Wait for the first waiter to occupy tenant a's queue.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, queued := c.Stats(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = c.Acquire(context.Background(), "a")
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload (queue full)", err)
+	}
+	<-done
+}
+
+func TestCanceledWaiterLeavesQueue(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxWait: 10 * time.Second})
+	release, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Acquire(ctx, "b")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel honored after %v", d)
+	}
+	if _, queued := c.Stats(); queued != 0 {
+		t.Fatalf("canceled waiter left in queue (queued=%d)", queued)
+	}
+}
+
+// TestRoundRobinFairness queues three statements for a chatty tenant and
+// one for a quiet tenant behind a single slot; the quiet tenant must be
+// served second, not last.
+func TestRoundRobinFairness(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxWait: 10 * time.Second, MaxQueuePerTenant: 8})
+	release, err := c.Acquire(context.Background(), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueued := 0
+	enqueue := func(tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background(), tenant)
+			if err != nil {
+				t.Errorf("acquire %s: %v", tenant, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			r()
+		}()
+		// Ensure FIFO arrival order within and across tenants.
+		enqueued++
+		deadline := time.Now().Add(time.Second)
+		for {
+			if _, queued := c.Stats(); queued >= enqueued {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("loud")
+	enqueue("loud")
+	enqueue("loud")
+	enqueue("quiet")
+	release()
+	wg.Wait()
+
+	if len(order) != 4 {
+		t.Fatalf("served %d, want 4: %v", len(order), order)
+	}
+	// Round-robin over tenants: loud, quiet, loud, loud.
+	if order[1] != "quiet" {
+		t.Fatalf("quiet tenant starved: order = %v", order)
+	}
+}
+
+// TestHandoffKeepsCap hammers the controller from many goroutines and
+// checks the concurrency invariant: active never exceeds MaxConcurrent,
+// and everything drains to zero.
+func TestHandoffKeepsCap(t *testing.T) {
+	const cap = 4
+	c := New(Config{MaxConcurrent: cap, MaxWait: 10 * time.Second, MaxQueuePerTenant: 64})
+	var inFlight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := string(rune('a' + i%4))
+			for n := 0; n < 10; n++ {
+				release, err := c.Acquire(context.Background(), tenant)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				cur := inFlight.Add(1)
+				for {
+					m := maxSeen.Load()
+					if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Microsecond)
+				inFlight.Add(-1)
+				release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > cap {
+		t.Fatalf("observed %d concurrent holders, cap %d", m, cap)
+	}
+	if active, queued := c.Stats(); active != 0 || queued != 0 {
+		t.Fatalf("did not drain: active=%d queued=%d", active, queued)
+	}
+}
+
+func TestNilControllerAdmits(t *testing.T) {
+	var c *Controller
+	release, err := c.Acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}

@@ -136,6 +136,56 @@ func PickAddr() (string, error) {
 	return addr, ln.Close()
 }
 
+// childCmd wraps one launched child process for kill-and-reap.
+type childCmd struct{ cmd *exec.Cmd }
+
+func (c *childCmd) kill() error {
+	if c.cmd == nil || c.cmd.Process == nil {
+		return nil
+	}
+	if err := c.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_, _ = c.cmd.Process.Wait()
+	return nil
+}
+
+// launchChildProcess re-executes the test binary as a child carrying
+// env, logging to <name>-run<launch>.log under dir, and waits up to 10s
+// for the readiness address file. TestMain's IsChild/IsCoordChild hooks
+// route the child before any test runs.
+func launchChildProcess(dir, name string, launch int, env, addrFile string) (*childCmd, string, error) {
+	_ = os.Remove(addrFile)
+	logPath := filepath.Join(dir, fmt.Sprintf("%s-run%d.log", name, launch))
+	logf, err := os.Create(logPath)
+	if err != nil {
+		return nil, "", err
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), env)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, "", err
+	}
+	logf.Close() // the child holds its own descriptor
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &childCmd{cmd: cmd}, string(b), nil
+		}
+		if st := cmd.ProcessState; st != nil || time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+			log, _ := os.ReadFile(logPath)
+			return nil, "", fmt.Errorf("chaos child %s never became ready; log:\n%s", name, log)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Proc is one child server process and its relaunch state. Kill and
 // Restart are safe to call from different goroutines (a test's fault
 // injector kills from the engine's path while a timer restarts).
@@ -144,7 +194,7 @@ type Proc struct {
 	Dir string // scratch dir: addr file, child logs
 
 	mu     sync.Mutex
-	cmd    *exec.Cmd
+	cmd    *childCmd
 	addr   string
 	launch int
 }
@@ -187,44 +237,18 @@ func (p *Proc) start() error {
 }
 
 func (p *Proc) startLocked() error {
-	_ = os.Remove(p.Cfg.AddrFile)
 	cfgJSON, err := json.Marshal(p.Cfg)
 	if err != nil {
 		return err
 	}
 	p.launch++
-	logPath := filepath.Join(p.Dir, fmt.Sprintf("%s-run%d.log", p.Cfg.Service, p.launch))
-	logf, err := os.Create(logPath)
+	cmd, addr, err := launchChildProcess(p.Dir, p.Cfg.Service, p.launch,
+		EnvConfig+"="+string(cfgJSON), p.Cfg.AddrFile)
 	if err != nil {
 		return err
 	}
-	// Re-execute the test binary; TestMain's IsChild hook routes it into
-	// ChildMain before any test runs.
-	cmd := exec.Command(os.Args[0], "-test.run=^$")
-	cmd.Env = append(os.Environ(), EnvConfig+"="+string(cfgJSON))
-	cmd.Stdout = logf
-	cmd.Stderr = logf
-	if err := cmd.Start(); err != nil {
-		logf.Close()
-		return err
-	}
-	logf.Close() // the child holds its own descriptor
-	p.cmd = cmd
-
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if b, err := os.ReadFile(p.Cfg.AddrFile); err == nil && len(b) > 0 {
-			p.addr = string(b)
-			return nil
-		}
-		if st := cmd.ProcessState; st != nil || time.Now().After(deadline) {
-			_ = cmd.Process.Kill()
-			_, _ = cmd.Process.Wait()
-			log, _ := os.ReadFile(logPath)
-			return fmt.Errorf("chaos child never became ready; log:\n%s", log)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	p.cmd, p.addr = cmd, addr
+	return nil
 }
 
 // Kill delivers SIGKILL — a crash, not a shutdown: no deferred
@@ -237,15 +261,12 @@ func (p *Proc) Kill() error {
 }
 
 func (p *Proc) killLocked() error {
-	if p.cmd == nil || p.cmd.Process == nil {
+	if p.cmd == nil {
 		return nil
 	}
-	if err := p.cmd.Process.Kill(); err != nil {
-		return err
-	}
-	_, _ = p.cmd.Process.Wait()
+	err := p.cmd.kill()
 	p.cmd = nil
-	return nil
+	return err
 }
 
 // Restart relaunches the child on the same address and journal,
@@ -268,13 +289,19 @@ func (p *Proc) Stop() { _ = p.Kill() }
 // post-mortem inspection (CI uploads this directory when a crash test
 // fails). A missing dst disables saving.
 func (p *Proc) SaveArtifacts(dst string) error {
+	return saveDir(p.Dir, dst)
+}
+
+// saveDir copies every regular file under src into dst (creating it);
+// an empty dst disables saving.
+func saveDir(src, dst string) error {
 	if dst == "" {
 		return nil
 	}
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		return err
 	}
-	entries, err := os.ReadDir(p.Dir)
+	entries, err := os.ReadDir(src)
 	if err != nil {
 		return err
 	}
@@ -282,7 +309,7 @@ func (p *Proc) SaveArtifacts(dst string) error {
 		if e.IsDir() {
 			continue
 		}
-		if err := copyFile(filepath.Join(p.Dir, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+		if err := copyFile(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
 			return err
 		}
 	}

@@ -16,9 +16,12 @@ import (
 	"msql/internal/mtlog"
 )
 
-// TestMain routes child processes into the LAM server before any test
-// runs; the parent proceeds normally.
+// TestMain routes child processes — LAM servers and coordinator
+// servers — before any test runs; the parent proceeds normally.
 func TestMain(m *testing.M) {
+	if IsCoordChild() {
+		CoordMain() // never returns
+	}
 	if IsChild() {
 		ChildMain() // never returns
 	}

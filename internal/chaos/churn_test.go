@@ -1,0 +1,330 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msql/internal/admit"
+	"msql/internal/mdserver"
+)
+
+// The churn soak: a coordinator child serving two LAM children, loaded
+// by dozens of concurrent client sessions that commit two-site vital
+// units while a fraction of them hang up mid-2PC, the admission
+// controller sheds overload, and the coordinator is SIGKILLed and
+// recovered under load. The acceptance bar is the robustness
+// tentpole's: after recovery both journal tiers drain to empty — zero
+// stranded in-doubt sessions — overload is answered with ErrOverload
+// rather than unbounded queueing, and tail latency stays bounded.
+
+const (
+	soakClients   = 36
+	soakTables    = 4 // disjoint table pairs limit lock serialization
+	soakTenants   = 4
+	soakLoadPhase = 1500 * time.Millisecond
+)
+
+func soakBoot() []string {
+	boot := make([]string, 0, soakTables)
+	for i := 0; i < soakTables; i++ {
+		boot = append(boot, fmt.Sprintf(
+			"CREATE TABLE booking%d (id INTEGER, who CHAR(20), amt FLOAT)", i))
+	}
+	return boot
+}
+
+// soakCounters aggregates worker outcomes.
+type soakCounters struct {
+	commits  atomic.Int64
+	aborts   atomic.Int64
+	sheds    atomic.Int64
+	abandons atomic.Int64
+	connErrs atomic.Int64
+
+	latMu sync.Mutex
+	lats  []time.Duration
+}
+
+func (c *soakCounters) recordLatency(d time.Duration) {
+	c.latMu.Lock()
+	c.lats = append(c.lats, d)
+	c.latMu.Unlock()
+}
+
+func (c *soakCounters) p99() time.Duration {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if len(c.lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), c.lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)*99)/100]
+}
+
+// soakWorker drives one client identity: redial through coordinator
+// crashes, commit two-site units, occasionally abandon the connection
+// mid-script, back off briefly on shed.
+func soakWorker(id int, addr string, stop <-chan struct{}, ctr *soakCounters) {
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 13))
+	tenant := fmt.Sprintf("t%d", id%soakTenants)
+	var c *mdserver.Client
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	running := func() bool {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	n := 0
+	for running() {
+		if c == nil {
+			cc, err := mdserver.Dial(addr, tenant)
+			if err != nil {
+				ctr.connErrs.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			c = cc
+		}
+		n++
+		key := id*1_000_000 + n
+		tbl := id % soakTables
+		// The %-suffixed unqualified name fans the INSERT out to both
+		// scope databases inside one vital unit: a genuine two-site 2PC
+		// per operation, not two independent single-site commits.
+		src := fmt.Sprintf(`USE delta VITAL united VITAL;
+INSERT INTO booking%d%% VALUES (%d, 'c%d', 1.0);
+COMMIT;`, tbl, key, id)
+
+		if rng.Intn(100) < 15 {
+			// Mid-2PC disconnect: fire the script and hang up without
+			// reading the reply. The server must cancel the session and
+			// terminate the unit cleanly on its own.
+			done := make(chan struct{})
+			go func(cl *mdserver.Client) {
+				defer close(done)
+				_, _ = cl.Script(context.Background(), src)
+			}(c)
+			time.Sleep(time.Duration(rng.Intn(4)) * time.Millisecond)
+			c.Close()
+			<-done
+			c = nil
+			ctr.abandons.Add(1)
+			continue
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		start := time.Now()
+		res, err := c.Script(ctx, src)
+		cancel()
+		switch {
+		case err == nil:
+			committed := false
+			for _, r := range res {
+				if r.Kind == "sync" && r.State == "success" {
+					committed = true
+				}
+			}
+			if committed {
+				ctr.commits.Add(1)
+				ctr.recordLatency(time.Since(start))
+			} else {
+				ctr.aborts.Add(1) // lock timeout etc.: clean abort, not an error
+			}
+		case errors.Is(err, admit.ErrOverload):
+			// Shed, not queued: the connection stays usable; back off.
+			ctr.sheds.Add(1)
+			time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+		default:
+			// Transport failure (likely the coordinator crash): discard
+			// the connection and redial.
+			ctr.connErrs.Add(1)
+			c.Close()
+			c = nil
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// waitJournalsDrained polls until the coordinator journal holds no open
+// multitransaction and no participant journal holds an unacknowledged
+// session.
+func waitJournalsDrained(t *testing.T, coord *CoordProc, parts []*Proc) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		open := 0
+		states, err := coord.JournalStates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range states {
+			if !s.Ended {
+				open++
+			}
+		}
+		unacked := 0
+		for _, p := range parts {
+			sessions, err := p.JournalSessions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sessions {
+				if !s.Acked {
+					unacked++
+				}
+			}
+		}
+		if open == 0 && unacked == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journals never drained: %d open multitransactions, %d unacked participant sessions",
+				open, unacked)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestChurnSoak(t *testing.T) {
+	dir := t.TempDir()
+	saveOnFailure := func() {
+		if t.Failed() {
+			if dst := os.Getenv(EnvArtifacts); dst != "" {
+				_ = saveDir(dir, filepath.Join(dst, t.Name()))
+			}
+		}
+	}
+	defer saveOnFailure()
+
+	// Two participant LAM children. Aggressive compaction and a short
+	// tombstone TTL: acknowledgments lost to the coordinator crash must
+	// not pin their journals forever.
+	launchLAM := func(service, db string) *Proc {
+		p, err := Launch(dir, Config{
+			Service: service, DB: db, Boot: soakBoot(),
+			CompactEvery: 1, TombstoneTTLMS: 1500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Stop)
+		return p
+	}
+	delta := launchLAM("svc_delta", "delta")
+	united := launchLAM("svc_unit", "united")
+
+	// The coordinator child: tight admission so overload is observable,
+	// group commit on, pooled LAM connections.
+	coord, err := LaunchCoord(dir, CoordConfig{
+		Sites: []CoordSite{
+			{Service: "svc_delta", DB: "delta", Addr: delta.Addr()},
+			{Service: "svc_unit", DB: "united", Addr: united.Addr()},
+		},
+		GroupCommitMS: 2,
+		MaxSessions:   64,
+		// Tight enough that 36 clients over 4 tenants overflow the queues
+		// and sheds are guaranteed, loose enough that admitted work flows
+		// and the commit floor is met even under -race scheduling.
+		MaxConcurrent: 8, MaxQueuePerTenant: 4, MaxWaitMS: 150,
+		StmtTimeoutMS: 5000,
+		PoolSize:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+
+	ctr := &soakCounters{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < soakClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			soakWorker(i, coord.Addr(), stop, ctr)
+		}(i)
+	}
+
+	// Phase 1: load. Then the crash: SIGKILL mid-traffic, restart on the
+	// same journal — Restart returns only after the child's recovery
+	// (journal replay + orphan sweep) finished. Phase 2: load again.
+	time.Sleep(soakLoadPhase)
+	if err := coord.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let workers hit the dead server
+	if err := coord.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(soakLoadPhase)
+	close(stop)
+	wg.Wait()
+
+	t.Logf("soak: %d commits, %d clean aborts, %d sheds, %d abandons, %d conn errors, p99 %v",
+		ctr.commits.Load(), ctr.aborts.Load(), ctr.sheds.Load(),
+		ctr.abandons.Load(), ctr.connErrs.Load(), ctr.p99())
+
+	// The soak only proves something if every churn ingredient actually
+	// occurred.
+	if c := ctr.commits.Load(); c < 12 {
+		t.Errorf("commits = %d, want a meaningfully loaded soak (>= 12)", c)
+	}
+	if s := ctr.sheds.Load(); s == 0 {
+		t.Error("no ErrOverload sheds observed; admission control never engaged")
+	}
+	if a := ctr.abandons.Load(); a == 0 {
+		t.Error("no mid-2PC disconnects occurred")
+	}
+	if p99 := ctr.p99(); p99 > 10*time.Second {
+		t.Errorf("p99 latency %v, want bounded under churn", p99)
+	}
+
+	// A final crash+recover mops up whatever the load's tail stranded,
+	// then both journal tiers must drain completely: no multitransaction
+	// without an end record, no participant session without its
+	// acknowledgment — zero stranded in-doubt sessions anywhere.
+	if err := coord.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitJournalsDrained(t, coord, []*Proc{delta, united})
+
+	// And the recovered coordinator still serves: a fresh client commits
+	// a two-site unit end to end.
+	c, err := mdserver.Dial(coord.Addr(), "verifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Script(context.Background(), `USE delta VITAL united VITAL;
+INSERT INTO booking0% VALUES (999999999, 'verify', 1.0);
+COMMIT;`)
+	if err != nil {
+		t.Fatalf("post-recovery unit: %v", err)
+	}
+	committed := false
+	for _, r := range res {
+		if r.Kind == "sync" && r.State == "success" {
+			committed = true
+		}
+	}
+	if !committed {
+		t.Fatalf("post-recovery unit did not commit: %+v", res)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"msql/internal/admit"
 	"msql/internal/catalog"
 	"msql/internal/dol"
 	"msql/internal/dolengine"
@@ -168,12 +169,18 @@ type Participant struct {
 	Commit bool
 }
 
-// Federation is the multidatabase system. A Federation represents one
-// multidatabase user's session: ExecScript carries scope and transaction
-// state across calls and is not safe for concurrent use. Multiple users
-// of the same local database systems each build their own Federation
-// around shared servers (see internal/demo's concurrency tests); the
-// LDBMS layer's locking arbitrates between them.
+// Federation is the multidatabase system: the Auxiliary Directory, the
+// Global Data Dictionary, the LAM clients of incorporated services, the
+// DOL engine, and the durable coordinator journal. All of that is shared
+// state, safe for concurrent use.
+//
+// Script execution happens in sessions (see Session): each client of the
+// federation opens one with NewSession and runs scripts through it;
+// independent sessions execute in parallel against the shared engine and
+// journal. The Federation's own ExecScript/Flush/Scope methods operate on
+// a lazily created default session, preserving the original
+// one-user-one-Federation API — that default session, like any Session,
+// is not safe for concurrent use.
 type Federation struct {
 	AD  *catalog.AD
 	GDD *catalog.GDD
@@ -181,6 +188,7 @@ type Federation struct {
 	mu      sync.Mutex
 	clients map[string]lam.Client
 	servers map[string]*ldbms.Server
+	def     *Session // lazily created default session for the legacy API
 
 	tctx   *translate.Context
 	engine *dolengine.Engine
@@ -193,20 +201,26 @@ type Federation struct {
 	// first statement touches a remote site.
 	CallTimeout time.Duration
 
+	// StmtTimeout bounds each statement's execution (including the
+	// synchronization it triggers); 0 means unbounded. A statement that
+	// overruns is canceled mid-flight — prepared participants are still
+	// driven to their decision by the engine's recovery loop, which runs
+	// on its own budget. Set it before serving sessions.
+	StmtTimeout time.Duration
+
 	// Tracer receives one trace per executed script (defaults to
 	// obs.DefaultTracer). Set it before executing statements to direct
 	// traces elsewhere, nil to disable tracing.
 	Tracer *obs.Tracer
 
-	// script execution state
-	scope []semvar.ScopeEntry
-	lets  []msqlparser.LetBinding
-	unit  []translate.UnitQuery
-
-	// multidatabase-level definitions
+	// multidatabase-level definitions, shared across sessions
+	defMu      sync.RWMutex
 	multiviews map[string]*storedView
 	triggers   map[string]*storedTrigger
-	inTrigger  bool
+
+	// admission gates statement execution across all sessions (nil runs
+	// ungated). See internal/admit.
+	admission *admit.Controller
 
 	// durable-coordinator state (see journal.go)
 	journal    *mtlog.Journal
@@ -322,16 +336,54 @@ func (f *Federation) clientFor(service string) (lam.Client, error) {
 	return f.Resolve(service)
 }
 
-// Scope returns the current USE scope.
-func (f *Federation) Scope() []semvar.ScopeEntry {
-	return append([]semvar.ScopeEntry(nil), f.scope...)
+// NewSession opens an independent script-execution session on the
+// federation. Sessions carry the per-client state (USE scope, LET
+// bindings, the pending transaction unit, trigger re-entrancy) and may
+// run concurrently with one another; a single Session is not safe for
+// concurrent use. tenant names the client for admission control; empty
+// is the anonymous tenant.
+func (f *Federation) NewSession(tenant string) *Session {
+	return &Session{f: f, tenant: tenant}
 }
 
-// ExecScript parses and executes an MSQL script, returning one Result per
-// produced outcome (statements and synchronization points). Execution
-// stops at the first error; results produced so far are returned.
+// SetAdmission installs an admission controller gating every session's
+// statement execution (nil removes the gate). Install it before serving
+// concurrent sessions.
+func (f *Federation) SetAdmission(c *admit.Controller) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.admission = c
+}
+
+// admitCtl returns the installed admission controller (possibly nil).
+func (f *Federation) admitCtl() *admit.Controller {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.admission
+}
+
+// defaultSession returns the session behind the Federation's legacy
+// single-user API, creating it on first use.
+func (f *Federation) defaultSession() *Session {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.def == nil {
+		f.def = &Session{f: f}
+	}
+	return f.def
+}
+
+// Scope returns the default session's current USE scope.
+func (f *Federation) Scope() []semvar.ScopeEntry {
+	return f.defaultSession().Scope()
+}
+
+// ExecScript parses and executes an MSQL script in the default session,
+// returning one Result per produced outcome (statements and
+// synchronization points). Execution stops at the first error; results
+// produced so far are returned.
 func (f *Federation) ExecScript(src string) ([]*Result, error) {
-	return f.ExecScriptContext(context.Background(), src)
+	return f.defaultSession().ExecScriptContext(context.Background(), src)
 }
 
 // ExecScriptContext is ExecScript under a context: the deadline bounds
@@ -341,62 +393,7 @@ func (f *Federation) ExecScript(src string) ([]*Result, error) {
 // commit/rollback decisions for prepared participants must be delivered
 // even when the script deadline has expired.
 func (f *Federation) ExecScriptContext(ctx context.Context, src string) ([]*Result, error) {
-	// Each script call gets one trace unless the caller already opened
-	// one; spans from every layer below (translate, plan, engine tasks,
-	// wire calls, 2PC phases) accumulate in it.
-	trace := obs.TraceFrom(ctx)
-	if trace == nil && f.Tracer != nil {
-		trace = f.Tracer.Start("script")
-		ctx = obs.WithTrace(ctx, trace)
-		defer trace.Finish()
-	}
-
-	psp, _ := obs.StartSpan(ctx, "parse", obs.KindParse)
-	script, err := msqlparser.Parse(src)
-	psp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	var results []*Result
-	add := func(elapsed time.Duration, rs ...*Result) {
-		for _, r := range rs {
-			if r != nil {
-				if r.Elapsed == 0 {
-					r.Elapsed = elapsed
-				}
-				r.TraceID = trace.ID()
-				results = append(results, r)
-			}
-		}
-	}
-	for _, stmt := range script.Stmts {
-		if f.draining() {
-			// Stop at a statement boundary: synchronize what is pending so
-			// no unit is abandoned inside the prepared-to-commit window,
-			// then report the drain.
-			start := time.Now()
-			r, ferr := f.flush(ctx)
-			add(time.Since(start), r)
-			if ferr != nil {
-				return results, ferr
-			}
-			return results, ErrDrained
-		}
-		verb := verbOf(stmt)
-		ssp, sctx := obs.StartSpan(ctx, "stmt:"+verb, obs.KindStatement)
-		start := time.Now()
-		rs, err := f.execStmt(sctx, stmt)
-		ssp.EndErr(err)
-		mStatements.With(verb).Inc()
-		add(time.Since(start), rs...)
-		if err != nil {
-			return results, err
-		}
-	}
-	start := time.Now()
-	r, err := f.flush(ctx)
-	add(time.Since(start), r)
-	return results, err
+	return f.defaultSession().ExecScriptContext(ctx, src)
 }
 
 // verbOf names a statement for the per-verb statement counter and the
@@ -443,126 +440,55 @@ func verbOf(stmt msqlparser.Stmt) string {
 	}
 }
 
-// execStmt executes one statement, returning zero or more results (a
-// statement that triggers a synchronization point yields the sync result
-// first).
-func (f *Federation) execStmt(ctx context.Context, stmt msqlparser.Stmt) ([]*Result, error) {
-	switch st := stmt.(type) {
-	case *msqlparser.UseStmt:
-		sync, err := f.flush(ctx)
-		if err != nil {
-			return resultList(sync), err
-		}
-		entries, err := f.expandScope(semvar.ScopeFromUse(st))
-		if err != nil {
-			return resultList(sync), err
-		}
-		if st.Current {
-			f.scope = dedupeScope(append(f.scope, entries...))
-		} else {
-			f.scope = dedupeScope(entries)
-		}
-		f.lets = nil
-		return resultList(sync), nil
+// defineMultiview stores a multiview definition (shared across sessions).
+func (f *Federation) defineMultiview(name string, v *storedView) {
+	f.defMu.Lock()
+	defer f.defMu.Unlock()
+	f.multiviews[name] = v
+}
 
-	case *msqlparser.LetStmt:
-		f.lets = append(f.lets, st.Bindings...)
-		return nil, nil
-
-	case *msqlparser.QueryStmt:
-		return f.execQuery(ctx, st)
-
-	case *msqlparser.CommitStmt:
-		r, err := f.sync(ctx, translate.SyncCommit)
-		return resultList(r), err
-
-	case *msqlparser.RollbackStmt:
-		r, err := f.sync(ctx, translate.SyncRollback)
-		return resultList(r), err
-
-	case *msqlparser.MultiTxStmt:
-		sync, err := f.flush(ctx)
-		if err != nil {
-			return resultList(sync), err
-		}
-		r, err := f.execMultiTx(ctx, st)
-		return resultList(sync, r), err
-
-	case *msqlparser.IncorporateStmt:
-		f.AD.Incorporate(catalog.ServiceEntry{
-			Name:           st.Service,
-			Site:           st.Site,
-			Connect:        st.Connect,
-			AutoCommitOnly: st.AutoCommitOnly,
-			DDLCommit:      st.DDLCommit,
-		})
-		return resultList(&Result{Kind: KindIncorporate}), nil
-
-	case *msqlparser.ImportStmt:
-		client, err := f.clientFor(st.Service)
-		if err != nil {
-			return nil, err
-		}
-		spec := catalog.ImportSpec{Table: st.Table, View: st.View, Columns: st.Columns}
-		if err := catalog.ImportDatabase(ctx, f.GDD, f.AD, client, st.Database, st.Service, spec); err != nil {
-			return nil, err
-		}
-		return resultList(&Result{Kind: KindImport}), nil
-
-	case *msqlparser.CreateMultidatabaseStmt:
-		if err := f.GDD.DefineMultidatabase(st.Name, st.Members); err != nil {
-			return nil, err
-		}
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	case *msqlparser.DropMultidatabaseStmt:
-		if err := f.GDD.DropMultidatabase(st.Name); err != nil {
-			return nil, err
-		}
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	case *msqlparser.CreateMultiviewStmt:
-		if len(f.scope) == 0 {
-			return nil, fmt.Errorf("core: CREATE MULTIVIEW captures the current scope — issue USE first")
-		}
-		f.multiviews[st.Name] = &storedView{
-			scope: append([]semvar.ScopeEntry(nil), f.scope...),
-			lets:  append([]msqlparser.LetBinding(nil), f.lets...),
-			body:  st.Body,
-		}
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	case *msqlparser.DropMultiviewStmt:
-		if _, ok := f.multiviews[st.Name]; !ok {
-			return nil, fmt.Errorf("core: no multiview %s", st.Name)
-		}
-		delete(f.multiviews, st.Name)
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	case *msqlparser.CreateTriggerStmt:
-		if len(f.scope) == 0 {
-			return nil, fmt.Errorf("core: CREATE TRIGGER captures the current scope — issue USE first")
-		}
-		f.triggers[st.Name] = &storedTrigger{
-			name:     st.Name,
-			database: st.Database,
-			event:    st.Event,
-			scope:    append([]semvar.ScopeEntry(nil), f.scope...),
-			lets:     append([]msqlparser.LetBinding(nil), f.lets...),
-			query:    st.Body,
-		}
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	case *msqlparser.DropTriggerStmt:
-		if _, ok := f.triggers[st.Name]; !ok {
-			return nil, fmt.Errorf("core: no trigger %s", st.Name)
-		}
-		delete(f.triggers, st.Name)
-		return resultList(&Result{Kind: KindNoop}), nil
-
-	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+// dropMultiview removes a multiview definition.
+func (f *Federation) dropMultiview(name string) error {
+	f.defMu.Lock()
+	defer f.defMu.Unlock()
+	if _, ok := f.multiviews[name]; !ok {
+		return fmt.Errorf("core: no multiview %s", name)
 	}
+	delete(f.multiviews, name)
+	return nil
+}
+
+// defineTrigger stores an interdatabase trigger (shared across sessions).
+func (f *Federation) defineTrigger(name string, t *storedTrigger) {
+	f.defMu.Lock()
+	defer f.defMu.Unlock()
+	f.triggers[name] = t
+}
+
+// dropTrigger removes a trigger definition.
+func (f *Federation) dropTrigger(name string) error {
+	f.defMu.Lock()
+	defer f.defMu.Unlock()
+	if _, ok := f.triggers[name]; !ok {
+		return fmt.Errorf("core: no trigger %s", name)
+	}
+	delete(f.triggers, name)
+	return nil
+}
+
+// triggerSnapshot returns the current trigger definitions. The returned
+// map is a copy; the definitions themselves are immutable once stored.
+func (f *Federation) triggerSnapshot() map[string]*storedTrigger {
+	f.defMu.RLock()
+	defer f.defMu.RUnlock()
+	if len(f.triggers) == 0 {
+		return nil
+	}
+	out := make(map[string]*storedTrigger, len(f.triggers))
+	for k, v := range f.triggers {
+		out[k] = v
+	}
+	return out
 }
 
 // dedupeScope drops repeated scope entries (same name), keeping the
@@ -621,83 +547,10 @@ func resultList(rs ...*Result) []*Result {
 	return out
 }
 
-// execQuery routes one manipulation statement.
-func (f *Federation) execQuery(ctx context.Context, q *msqlparser.QueryStmt) ([]*Result, error) {
-	switch q.Body.(type) {
-	case *sqlparser.CreateDatabaseStmt, *sqlparser.DropDatabaseStmt:
-		return nil, fmt.Errorf("%w: CREATE/DROP DATABASE — create the database on its service and IMPORT it", ErrUnsupported)
-	}
-	if sel, ok := q.Body.(*sqlparser.SelectStmt); ok {
-		if view := f.matchMultiview(sel); view != nil {
-			r, err := f.execStoredSelect(ctx, view)
-			return resultList(r), err
-		}
-		r, err := f.execSelect(ctx, q)
-		return resultList(r), err
-	}
-	if len(f.scope) == 0 {
-		return nil, translate.ErrNoScope
-	}
-	if semvar.IsGlobalQuery(q.Body, f.scope) {
-		// Cross-database DML forms its own unit.
-		sync, err := f.flush(ctx)
-		if err != nil {
-			return resultList(sync), err
-		}
-		r, err := f.execGlobalDML(ctx, q)
-		return resultList(sync, r), err
-	}
-	f.unit = append(f.unit, translate.UnitQuery{
-		Lets:  append([]msqlparser.LetBinding(nil), f.lets...),
-		Query: q,
-	})
-	return nil, nil
-}
-
-// Flush synchronizes the pending unit in commit mode. It returns nil when
-// nothing is pending.
+// Flush synchronizes the default session's pending unit in commit mode.
+// It returns nil when nothing is pending.
 func (f *Federation) Flush() (*Result, error) {
-	return f.flush(context.Background())
-}
-
-func (f *Federation) flush(ctx context.Context) (*Result, error) {
-	if len(f.unit) == 0 {
-		return nil, nil
-	}
-	return f.sync(ctx, translate.SyncCommit)
-}
-
-// sync translates and runs the pending unit.
-func (f *Federation) sync(ctx context.Context, mode translate.SyncMode) (*Result, error) {
-	unit := f.unit
-	f.unit = nil
-	if len(unit) == 0 {
-		return nil, nil
-	}
-	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
-	prog, meta, err := f.tctx.TranslateUnit(f.scope, unit, mode)
-	tsp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: KindSync, DOL: printPlan(ctx, prog), Skipped: meta.Skipped, Mode: mode}
-	if f.DryRun {
-		f.dropProvisional(meta, nil)
-		return res, nil
-	}
-	out, err := f.runPlan(ctx, "sync", prog, meta)
-	if err != nil {
-		f.dropProvisional(meta, out)
-		return res, err
-	}
-	f.dropProvisional(meta, out)
-	f.fillFromOutcome(res, meta, out)
-	mUnitOutcomes.With(res.State.String()).Inc()
-	f.maintainGDD(meta, out)
-	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
-		return res, err
-	}
-	return res, nil
+	return f.defaultSession().Flush()
 }
 
 // dropProvisional removes translation-time GDD entries whose creating
@@ -710,66 +563,6 @@ func (f *Federation) dropProvisional(meta *translate.Meta, out *dolengine.Outcom
 		}
 		_ = f.GDD.DropTable(p.Database, p.Table)
 	}
-}
-
-// fireTriggers runs interdatabase triggers matching committed
-// manipulation subqueries of a synchronized unit. Triggers do not fire
-// recursively.
-func (f *Federation) fireTriggers(ctx context.Context, res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
-	if f.inTrigger || len(f.triggers) == 0 {
-		return nil
-	}
-	eventOf := func(s sqlparser.Statement) string {
-		switch s.(type) {
-		case *sqlparser.UpdateStmt:
-			return "UPDATE"
-		case *sqlparser.InsertStmt:
-			return "INSERT"
-		case *sqlparser.DeleteStmt:
-			return "DELETE"
-		case *sqlparser.CreateTableStmt, *sqlparser.CreateViewStmt:
-			return "CREATE"
-		case *sqlparser.DropTableStmt, *sqlparser.DropViewStmt:
-			return "DROP"
-		default:
-			return ""
-		}
-	}
-	fired := map[string]bool{}
-	for _, tm := range meta.Tasks {
-		if tm.Role != translate.RoleWrite && tm.Role != translate.RoleFinal {
-			continue
-		}
-		if out.TaskStatus(tm.Name) != dol.StatusCommitted {
-			continue
-		}
-		ev := eventOf(tm.Stmt)
-		for name, trig := range f.triggers {
-			if fired[name] || trig.event != ev {
-				continue
-			}
-			if trig.database != tm.Entry.Database && trig.database != tm.Entry.Name {
-				continue
-			}
-			fired[name] = true
-			f.inTrigger = true
-			_, _, terr := func() (*dol.Program, *translate.Meta, error) {
-				prog, tmeta, err := f.tctx.TranslateUnit(trig.scope,
-					[]translate.UnitQuery{{Lets: trig.lets, Query: trig.query}}, translate.SyncCommit)
-				if err != nil {
-					return nil, nil, err
-				}
-				_, err = f.runPlan(ctx, "trigger", prog, tmeta)
-				return prog, tmeta, err
-			}()
-			f.inTrigger = false
-			if terr != nil {
-				return fmt.Errorf("core: trigger %s: %w", name, terr)
-			}
-			res.TriggersFired = append(res.TriggersFired, name)
-		}
-	}
-	return nil
 }
 
 // fillFromOutcome copies task states and classifies the vital outcome.
@@ -861,7 +654,9 @@ func (f *Federation) matchMultiview(sel *sqlparser.SelectStmt) *storedView {
 	if len(sel.From) != 1 || len(sel.From[0].Name.Parts) != 1 || sel.From[0].Alias != "" {
 		return nil
 	}
+	f.defMu.RLock()
 	view, ok := f.multiviews[sel.From[0].Name.Parts[0]]
+	f.defMu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -871,56 +666,6 @@ func (f *Federation) matchMultiview(sel *sqlparser.SelectStmt) *storedView {
 		return nil
 	}
 	return view
-}
-
-// execStoredSelect executes a multiview's captured multiple query.
-func (f *Federation) execStoredSelect(ctx context.Context, view *storedView) (*Result, error) {
-	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
-	prog, meta, err := f.tctx.TranslateQuery(view.scope, view.lets, &msqlparser.QueryStmt{Body: view.body})
-	tsp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
-	if f.DryRun {
-		return res, nil
-	}
-	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
-	out, err := f.engine.Run(ectx, prog)
-	esp.EndErr(err)
-	if err != nil {
-		return res, err
-	}
-	f.assembleMultitable(res, meta, out)
-	return res, nil
-}
-
-// execSelect runs a retrieval query immediately and assembles the
-// multitable.
-func (f *Federation) execSelect(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
-	if len(f.scope) == 0 {
-		return nil, translate.ErrNoScope
-	}
-	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
-	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
-	tsp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
-	if f.DryRun {
-		return res, nil
-	}
-	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
-	out, err := f.engine.Run(ectx, prog)
-	esp.EndErr(err)
-	if err != nil {
-		return res, err
-	}
-	if err := f.assembleMultitable(res, meta, out); err != nil {
-		return res, err
-	}
-	return res, nil
 }
 
 // assembleMultitable copies the partial results of read tasks (or the
@@ -964,59 +709,6 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 	}
 	res.Multitable = mt
 	return nil
-}
-
-// execGlobalDML runs a cross-database manipulation statement as its own
-// unit.
-func (f *Federation) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
-	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
-	prog, meta, err := f.tctx.TranslateQuery(f.scope, f.lets, q)
-	tsp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: KindGlobalDML, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
-	if f.DryRun {
-		return res, nil
-	}
-	out, err := f.runPlan(ctx, "dml", prog, meta)
-	if err != nil {
-		return res, err
-	}
-	f.fillFromOutcome(res, meta, out)
-	mUnitOutcomes.With(res.State.String()).Inc()
-	f.maintainGDD(meta, out)
-	if err := f.fireTriggers(ctx, res, meta, out); err != nil {
-		return res, err
-	}
-	return res, nil
-}
-
-// execMultiTx runs a multitransaction.
-func (f *Federation) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt) (*Result, error) {
-	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
-	prog, meta, err := f.tctx.TranslateMultiTx(m)
-	tsp.EndErr(err)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Kind: KindMultiTx, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
-	if f.DryRun {
-		return res, nil
-	}
-	out, err := f.runPlan(ctx, "multitx", prog, meta)
-	if err != nil {
-		return res, err
-	}
-	f.fillFromOutcome(res, meta, out)
-	if res.Status >= 0 && res.Status < len(meta.AcceptableStates) {
-		res.AchievedState = meta.AcceptableStates[res.Status]
-		res.State = StateSuccess
-	} else {
-		res.State = StateAborted
-	}
-	mUnitOutcomes.With(res.State.String()).Inc()
-	return res, nil
 }
 
 func toRelColumn(c sqlparser.ColumnDef) relstore.Column {

@@ -373,6 +373,71 @@ func (f *Federation) Recover(ctx context.Context) (*RecoveryReport, error) {
 	return rep, nil
 }
 
+// RecoverOrphans completes the termination protocol from the
+// participants' side: every incorporated remote site is asked for its
+// parked in-doubt sessions (wire.ReqInDoubt), and each one no open
+// journal multitransaction covers is rolled back and acknowledged.
+//
+// Such orphans exist because the coordinator logs a prepared record
+// only after the participant's vote returns: a crash landing between
+// the vote and the record's group-commit flush leaves the participant
+// prepared — holding locks — while the restarted coordinator's journal
+// has never heard of the session, so Recover alone cannot reach it.
+// The write-ahead rule makes the sweep safe: a commit decision is
+// durable only after every prepared record it covers, so a session
+// absent from the journal can never have been promised a commit —
+// presumed abort is the only correct outcome.
+//
+// Call RecoverOrphans after Recover and before accepting new sessions:
+// a session prepared by a unit in flight right now would be
+// indistinguishable from an orphan. The returned participants are the
+// sessions swept; sites that stayed unreachable contribute the error
+// (the last one), and a later pass retries them.
+func (f *Federation) RecoverOrphans(ctx context.Context) ([]Participant, error) {
+	j := f.Journal()
+	if j == nil {
+		return nil, errors.New("core: RecoverOrphans requires a journal (SetJournal)")
+	}
+	states, err := j.States()
+	if err != nil {
+		return nil, err
+	}
+	covered := make(map[string]bool)
+	for _, s := range states {
+		if s.Ended {
+			continue
+		}
+		for _, prec := range s.Prepared {
+			covered[prec.Addr+"#"+strconv.FormatInt(prec.SessionID, 10)] = true
+		}
+	}
+	var swept []Participant
+	var lastErr error
+	for _, name := range f.AD.Names() {
+		e, err := f.AD.Lookup(name)
+		if err != nil || e.Site == "" {
+			continue // in-process service: its sessions died with us
+		}
+		sessions, ierr := lam.InDoubtSessions(ctx, e.Site)
+		if ierr != nil {
+			lastErr = ierr
+			continue
+		}
+		for _, d := range sessions {
+			if covered[e.Site+"#"+strconv.FormatInt(d.SessionID, 10)] {
+				continue // an open multitransaction owns it; Recover's job
+			}
+			if _, rerr := f.resolveParticipant(ctx, e.Site, d.SessionID, false); rerr != nil {
+				lastErr = rerr
+				continue
+			}
+			f.ackParticipants([]Participant{{Addr: e.Site, SessionID: d.SessionID}})
+			swept = append(swept, Participant{Addr: e.Site, SessionID: d.SessionID})
+		}
+	}
+	return swept, lastErr
+}
+
 // appendOutcome journals a terminal status reached during recovery.
 func (f *Federation) appendOutcome(mtid uint64, task string, st uint8) {
 	_ = f.journal.Append(&mtlog.Record{Type: mtlog.TOutcome, MTID: mtid, Task: task, Status: st})

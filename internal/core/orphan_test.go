@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/mtlog"
+	"msql/internal/wire"
+)
+
+// parkOrphan drives a raw wire conversation against a LAM: open a
+// session, execute stmts, prepare carrying mtid, then drop the
+// connection without a word — exactly what a coordinator crash after
+// the vote looks like from the participant's side. Returns the parked
+// session's id.
+func parkOrphan(t *testing.T, addr string, db string, mtid uint64, stmts ...string) int64 {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	call := func(req *wire.Request) *wire.Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ErrMsg != "" {
+			t.Fatalf("%s: %s", req.Kind, resp.ErrMsg)
+		}
+		return &resp
+	}
+	sid := call(&wire.Request{Kind: wire.ReqOpen, Database: db}).SessionID
+	for _, q := range stmts {
+		call(&wire.Request{Kind: wire.ReqExec, SessionID: sid, SQL: q})
+	}
+	call(&wire.Request{Kind: wire.ReqPrepare, SessionID: sid, MTID: mtid})
+	conn.Close() // the "crash": no decision, no close-session
+	return sid
+}
+
+// waitParked polls until the server has parked n in-doubt sessions (the
+// park happens in the connection handler's cleanup, after the client's
+// close is noticed).
+func waitParked(t *testing.T, ts *lam.TCPServer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ts.InDoubt()) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked sessions = %d, want %d", len(ts.InDoubt()), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func orphanFederation(t *testing.T, addr string) *Federation {
+	t.Helper()
+	fed := New()
+	fed.SetRecovery(lam.RetryPolicy{Attempts: 2, BaseDelay: 5 * time.Millisecond,
+		MaxDelay: 20 * time.Millisecond}, time.Second)
+	setup := fmt.Sprintf(`
+INCORPORATE SERVICE svc_orph SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;
+IMPORT DATABASE orphdb FROM SERVICE svc_orph;
+`, addr)
+	if _, err := fed.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	j, err := mtlog.Open(filepath.Join(t.TempDir(), "coord.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	fed.SetJournal(j)
+	return fed
+}
+
+// TestRecoverOrphansSweepsUnjournaledPrepared covers the crash window
+// the journal-driven Recover cannot see: the participant voted and
+// parked, but the coordinator died before its prepared record was
+// durable. RecoverOrphans must find the session through ReqInDoubt,
+// roll it back under presumed abort, and release its locks.
+func TestRecoverOrphansSweepsUnjournaledPrepared(t *testing.T) {
+	srv := ldbms.NewServer("svc_orph", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("orphdb"); err != nil {
+		t.Fatal(err)
+	}
+	boot, err := srv.OpenSession("orphdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boot.Exec("CREATE TABLE acct (id INTEGER, bal FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	boot.Commit()
+	boot.Close()
+	ts, err := lam.Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	fed := orphanFederation(t, ts.Addr())
+	parkOrphan(t, ts.Addr(), "orphdb", 77, "INSERT INTO acct VALUES (1, 10.0)")
+	waitParked(t, ts, 1)
+
+	swept, err := fed.RecoverOrphans(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 1 {
+		t.Fatalf("swept = %+v, want one participant", swept)
+	}
+	if got := len(ts.InDoubt()); got != 0 {
+		t.Fatalf("parked sessions after sweep = %d, want 0", got)
+	}
+
+	// Presumed abort: the effect is gone and the table lock is free — a
+	// fresh writer gets in well under the lock timeout.
+	sess, err := srv.OpenSession("orphdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Exec("SELECT * FROM acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("orphan's insert survived: %v", res.Rows)
+	}
+	if _, err := sess.Exec("INSERT INTO acct VALUES (2, 20.0)"); err != nil {
+		t.Fatalf("post-sweep writer blocked: %v", err)
+	}
+	sess.Commit()
+
+	// Idempotent: a second sweep finds nothing.
+	swept, err = fed.RecoverOrphans(context.Background())
+	if err != nil || len(swept) != 0 {
+		t.Fatalf("second sweep = %+v, %v, want empty", swept, err)
+	}
+}
+
+// TestRecoverOrphansSparesJournaledSessions: a parked session the
+// coordinator journal DOES cover belongs to Recover, which may hold a
+// commit decision for it — the sweep must not presume abort.
+func TestRecoverOrphansSparesJournaledSessions(t *testing.T) {
+	srv := ldbms.NewServer("svc_orph", ldbms.ProfileOracleLike(), 1)
+	if err := srv.CreateDatabase("orphdb"); err != nil {
+		t.Fatal(err)
+	}
+	boot, err := srv.OpenSession("orphdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boot.Exec("CREATE TABLE acct (id INTEGER, bal FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	boot.Commit()
+	boot.Close()
+	ts, err := lam.Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	fed := orphanFederation(t, ts.Addr())
+	sid := parkOrphan(t, ts.Addr(), "orphdb", 42, "INSERT INTO acct VALUES (1, 10.0)")
+	waitParked(t, ts, 1)
+
+	// The journal knows this session: an open multitransaction with its
+	// prepared record (the crash landed after the flush).
+	j := fed.Journal()
+	if err := j.Append(&mtlog.Record{Type: mtlog.TBegin, MTID: 42, Kind: "sync"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&mtlog.Record{Type: mtlog.TPrepared, MTID: 42, Task: "t1",
+		Addr: ts.Addr(), SessionID: sid}); err != nil {
+		t.Fatal(err)
+	}
+
+	swept, err := fed.RecoverOrphans(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 0 {
+		t.Fatalf("swept journaled session: %+v", swept)
+	}
+	if got := len(ts.InDoubt()); got != 1 {
+		t.Fatalf("parked sessions = %d, want the journaled one untouched", got)
+	}
+
+	// Recover owns it: with no decision record, presumed abort applies —
+	// through the journal-driven path.
+	rep, err := fed.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Resolved) != 1 || rep.Resolved[0].Commit {
+		t.Fatalf("resolved = %+v, want one rollback", rep.Resolved)
+	}
+	if got := len(ts.InDoubt()); got != 0 {
+		t.Fatalf("parked sessions after Recover = %d, want 0", got)
+	}
+}

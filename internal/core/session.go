@@ -1,0 +1,533 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"msql/internal/catalog"
+	"msql/internal/dol"
+	"msql/internal/dolengine"
+	"msql/internal/msqlparser"
+	"msql/internal/obs"
+	"msql/internal/semvar"
+	"msql/internal/sqlparser"
+	"msql/internal/translate"
+)
+
+// Session is one client's script-execution context on a shared
+// Federation: the USE scope, LET bindings, the pending transaction unit,
+// and trigger re-entrancy state travel with the session while the
+// directories, LAM clients, DOL engine, and coordinator journal are
+// shared. Independent sessions execute concurrently — the engine runs
+// their plans in parallel and the journal group-commits their decisions
+// — but a single Session must be used from one goroutine at a time (or
+// externally serialized, as the coordinator server does per
+// connection).
+type Session struct {
+	f      *Federation
+	tenant string
+
+	scope     []semvar.ScopeEntry
+	lets      []msqlparser.LetBinding
+	unit      []translate.UnitQuery
+	inTrigger bool
+}
+
+// Federation returns the federation the session executes against.
+func (s *Session) Federation() *Federation { return s.f }
+
+// Tenant returns the session's admission-control identity.
+func (s *Session) Tenant() string { return s.tenant }
+
+// Scope returns the current USE scope.
+func (s *Session) Scope() []semvar.ScopeEntry {
+	return append([]semvar.ScopeEntry(nil), s.scope...)
+}
+
+// ExecScript parses and executes an MSQL script, returning one Result
+// per produced outcome (statements and synchronization points).
+// Execution stops at the first error; results produced so far are
+// returned.
+func (s *Session) ExecScript(src string) ([]*Result, error) {
+	return s.ExecScriptContext(context.Background(), src)
+}
+
+// ExecScriptContext is ExecScript under a context: the deadline bounds
+// every remote LAM call the script makes, and cancellation fails
+// in-flight subqueries. In-doubt resolution after a lost connection runs
+// on its own bounded budget (the engine's recovery policy), not ctx —
+// commit/rollback decisions for prepared participants must be delivered
+// even when the script deadline has expired.
+//
+// When the federation has an admission controller, each statement (and
+// the end-of-script synchronization) first acquires an execution slot
+// under the session's tenant; saturation surfaces as an error wrapping
+// admit.ErrOverload before any site is touched. A federation StmtTimeout
+// additionally bounds each statement's execution.
+func (s *Session) ExecScriptContext(ctx context.Context, src string) ([]*Result, error) {
+	f := s.f
+	// Each script call gets one trace unless the caller already opened
+	// one; spans from every layer below (translate, plan, engine tasks,
+	// wire calls, 2PC phases) accumulate in it.
+	trace := obs.TraceFrom(ctx)
+	if trace == nil && f.Tracer != nil {
+		trace = f.Tracer.Start("script")
+		ctx = obs.WithTrace(ctx, trace)
+		defer trace.Finish()
+	}
+
+	psp, _ := obs.StartSpan(ctx, "parse", obs.KindParse)
+	script, err := msqlparser.Parse(src)
+	psp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	add := func(elapsed time.Duration, rs ...*Result) {
+		for _, r := range rs {
+			if r != nil {
+				if r.Elapsed == 0 {
+					r.Elapsed = elapsed
+				}
+				r.TraceID = trace.ID()
+				results = append(results, r)
+			}
+		}
+	}
+	for _, stmt := range script.Stmts {
+		if f.draining() {
+			// Stop at a statement boundary: synchronize what is pending so
+			// no unit is abandoned inside the prepared-to-commit window,
+			// then report the drain.
+			start := time.Now()
+			r, ferr := s.gatedFlush(ctx)
+			add(time.Since(start), r)
+			if ferr != nil {
+				return results, ferr
+			}
+			return results, ErrDrained
+		}
+		verb := verbOf(stmt)
+		ssp, sctx := obs.StartSpan(ctx, "stmt:"+verb, obs.KindStatement)
+		start := time.Now()
+		rs, err := s.admitted(sctx, func(actx context.Context) ([]*Result, error) {
+			return s.execStmt(actx, stmt)
+		})
+		ssp.EndErr(err)
+		mStatements.With(verb).Inc()
+		add(time.Since(start), rs...)
+		if err != nil {
+			return results, err
+		}
+	}
+	start := time.Now()
+	r, err := s.gatedFlush(ctx)
+	add(time.Since(start), r)
+	return results, err
+}
+
+// admitted runs fn under an admission slot (when a controller is
+// installed) and the federation's statement timeout (when set). The
+// slot is held for the statement's full execution, including any
+// synchronization point it triggers.
+func (s *Session) admitted(ctx context.Context, fn func(context.Context) ([]*Result, error)) ([]*Result, error) {
+	release, err := s.f.admitCtl().Acquire(ctx, s.tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if t := s.f.StmtTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	return fn(ctx)
+}
+
+// gatedFlush is flush behind the admission gate — the end-of-script
+// synchronization competes for capacity like any statement.
+func (s *Session) gatedFlush(ctx context.Context) (*Result, error) {
+	if len(s.unit) == 0 {
+		return nil, nil
+	}
+	rs, err := s.admitted(ctx, func(actx context.Context) ([]*Result, error) {
+		r, err := s.flush(actx)
+		return resultList(r), err
+	})
+	if len(rs) > 0 {
+		return rs[0], err
+	}
+	return nil, err
+}
+
+// execStmt executes one statement, returning zero or more results (a
+// statement that triggers a synchronization point yields the sync result
+// first).
+func (s *Session) execStmt(ctx context.Context, stmt msqlparser.Stmt) ([]*Result, error) {
+	f := s.f
+	switch st := stmt.(type) {
+	case *msqlparser.UseStmt:
+		sync, err := s.flush(ctx)
+		if err != nil {
+			return resultList(sync), err
+		}
+		entries, err := f.expandScope(semvar.ScopeFromUse(st))
+		if err != nil {
+			return resultList(sync), err
+		}
+		if st.Current {
+			s.scope = dedupeScope(append(s.scope, entries...))
+		} else {
+			s.scope = dedupeScope(entries)
+		}
+		s.lets = nil
+		return resultList(sync), nil
+
+	case *msqlparser.LetStmt:
+		s.lets = append(s.lets, st.Bindings...)
+		return nil, nil
+
+	case *msqlparser.QueryStmt:
+		return s.execQuery(ctx, st)
+
+	case *msqlparser.CommitStmt:
+		r, err := s.sync(ctx, translate.SyncCommit)
+		return resultList(r), err
+
+	case *msqlparser.RollbackStmt:
+		r, err := s.sync(ctx, translate.SyncRollback)
+		return resultList(r), err
+
+	case *msqlparser.MultiTxStmt:
+		sync, err := s.flush(ctx)
+		if err != nil {
+			return resultList(sync), err
+		}
+		r, err := s.execMultiTx(ctx, st)
+		return resultList(sync, r), err
+
+	case *msqlparser.IncorporateStmt:
+		f.AD.Incorporate(catalog.ServiceEntry{
+			Name:           st.Service,
+			Site:           st.Site,
+			Connect:        st.Connect,
+			AutoCommitOnly: st.AutoCommitOnly,
+			DDLCommit:      st.DDLCommit,
+		})
+		return resultList(&Result{Kind: KindIncorporate}), nil
+
+	case *msqlparser.ImportStmt:
+		client, err := f.clientFor(st.Service)
+		if err != nil {
+			return nil, err
+		}
+		spec := catalog.ImportSpec{Table: st.Table, View: st.View, Columns: st.Columns}
+		if err := catalog.ImportDatabase(ctx, f.GDD, f.AD, client, st.Database, st.Service, spec); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindImport}), nil
+
+	case *msqlparser.CreateMultidatabaseStmt:
+		if err := f.GDD.DefineMultidatabase(st.Name, st.Members); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropMultidatabaseStmt:
+		if err := f.GDD.DropMultidatabase(st.Name); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.CreateMultiviewStmt:
+		if len(s.scope) == 0 {
+			return nil, fmt.Errorf("core: CREATE MULTIVIEW captures the current scope — issue USE first")
+		}
+		f.defineMultiview(st.Name, &storedView{
+			scope: append([]semvar.ScopeEntry(nil), s.scope...),
+			lets:  append([]msqlparser.LetBinding(nil), s.lets...),
+			body:  st.Body,
+		})
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropMultiviewStmt:
+		if err := f.dropMultiview(st.Name); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.CreateTriggerStmt:
+		if len(s.scope) == 0 {
+			return nil, fmt.Errorf("core: CREATE TRIGGER captures the current scope — issue USE first")
+		}
+		f.defineTrigger(st.Name, &storedTrigger{
+			name:     st.Name,
+			database: st.Database,
+			event:    st.Event,
+			scope:    append([]semvar.ScopeEntry(nil), s.scope...),
+			lets:     append([]msqlparser.LetBinding(nil), s.lets...),
+			query:    st.Body,
+		})
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	case *msqlparser.DropTriggerStmt:
+		if err := f.dropTrigger(st.Name); err != nil {
+			return nil, err
+		}
+		return resultList(&Result{Kind: KindNoop}), nil
+
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+// execQuery routes one manipulation statement.
+func (s *Session) execQuery(ctx context.Context, q *msqlparser.QueryStmt) ([]*Result, error) {
+	f := s.f
+	switch q.Body.(type) {
+	case *sqlparser.CreateDatabaseStmt, *sqlparser.DropDatabaseStmt:
+		return nil, fmt.Errorf("%w: CREATE/DROP DATABASE — create the database on its service and IMPORT it", ErrUnsupported)
+	}
+	if sel, ok := q.Body.(*sqlparser.SelectStmt); ok {
+		if view := f.matchMultiview(sel); view != nil {
+			r, err := s.execStoredSelect(ctx, view)
+			return resultList(r), err
+		}
+		r, err := s.execSelect(ctx, q)
+		return resultList(r), err
+	}
+	if len(s.scope) == 0 {
+		return nil, translate.ErrNoScope
+	}
+	if semvar.IsGlobalQuery(q.Body, s.scope) {
+		// Cross-database DML forms its own unit.
+		sync, err := s.flush(ctx)
+		if err != nil {
+			return resultList(sync), err
+		}
+		r, err := s.execGlobalDML(ctx, q)
+		return resultList(sync, r), err
+	}
+	s.unit = append(s.unit, translate.UnitQuery{
+		Lets:  append([]msqlparser.LetBinding(nil), s.lets...),
+		Query: q,
+	})
+	return nil, nil
+}
+
+// Flush synchronizes the pending unit in commit mode. It returns nil
+// when nothing is pending.
+func (s *Session) Flush() (*Result, error) {
+	return s.flush(context.Background())
+}
+
+func (s *Session) flush(ctx context.Context) (*Result, error) {
+	if len(s.unit) == 0 {
+		return nil, nil
+	}
+	return s.sync(ctx, translate.SyncCommit)
+}
+
+// sync translates and runs the pending unit.
+func (s *Session) sync(ctx context.Context, mode translate.SyncMode) (*Result, error) {
+	f := s.f
+	unit := s.unit
+	s.unit = nil
+	if len(unit) == 0 {
+		return nil, nil
+	}
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
+	prog, meta, err := f.tctx.TranslateUnit(s.scope, unit, mode)
+	tsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSync, DOL: printPlan(ctx, prog), Skipped: meta.Skipped, Mode: mode}
+	if f.DryRun {
+		f.dropProvisional(meta, nil)
+		return res, nil
+	}
+	out, err := f.runPlan(ctx, "sync", prog, meta)
+	if err != nil {
+		f.dropProvisional(meta, out)
+		return res, err
+	}
+	f.dropProvisional(meta, out)
+	f.fillFromOutcome(res, meta, out)
+	mUnitOutcomes.With(res.State.String()).Inc()
+	f.maintainGDD(meta, out)
+	if err := s.fireTriggers(ctx, res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// fireTriggers runs interdatabase triggers matching committed
+// manipulation subqueries of a synchronized unit. Triggers do not fire
+// recursively.
+func (s *Session) fireTriggers(ctx context.Context, res *Result, meta *translate.Meta, out *dolengine.Outcome) error {
+	f := s.f
+	triggers := f.triggerSnapshot()
+	if s.inTrigger || len(triggers) == 0 {
+		return nil
+	}
+	eventOf := func(st sqlparser.Statement) string {
+		switch st.(type) {
+		case *sqlparser.UpdateStmt:
+			return "UPDATE"
+		case *sqlparser.InsertStmt:
+			return "INSERT"
+		case *sqlparser.DeleteStmt:
+			return "DELETE"
+		case *sqlparser.CreateTableStmt, *sqlparser.CreateViewStmt:
+			return "CREATE"
+		case *sqlparser.DropTableStmt, *sqlparser.DropViewStmt:
+			return "DROP"
+		default:
+			return ""
+		}
+	}
+	fired := map[string]bool{}
+	for _, tm := range meta.Tasks {
+		if tm.Role != translate.RoleWrite && tm.Role != translate.RoleFinal {
+			continue
+		}
+		if out.TaskStatus(tm.Name) != dol.StatusCommitted {
+			continue
+		}
+		ev := eventOf(tm.Stmt)
+		for name, trig := range triggers {
+			if fired[name] || trig.event != ev {
+				continue
+			}
+			if trig.database != tm.Entry.Database && trig.database != tm.Entry.Name {
+				continue
+			}
+			fired[name] = true
+			s.inTrigger = true
+			_, _, terr := func() (*dol.Program, *translate.Meta, error) {
+				prog, tmeta, err := f.tctx.TranslateUnit(trig.scope,
+					[]translate.UnitQuery{{Lets: trig.lets, Query: trig.query}}, translate.SyncCommit)
+				if err != nil {
+					return nil, nil, err
+				}
+				_, err = f.runPlan(ctx, "trigger", prog, tmeta)
+				return prog, tmeta, err
+			}()
+			s.inTrigger = false
+			if terr != nil {
+				return fmt.Errorf("core: trigger %s: %w", name, terr)
+			}
+			res.TriggersFired = append(res.TriggersFired, name)
+		}
+	}
+	return nil
+}
+
+// execStoredSelect executes a multiview's captured multiple query.
+func (s *Session) execStoredSelect(ctx context.Context, view *storedView) (*Result, error) {
+	f := s.f
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
+	prog, meta, err := f.tctx.TranslateQuery(view.scope, view.lets, &msqlparser.QueryStmt{Body: view.body})
+	tsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
+	out, err := f.engine.Run(ectx, prog)
+	esp.EndErr(err)
+	if err != nil {
+		return res, err
+	}
+	f.assembleMultitable(res, meta, out)
+	return res, nil
+}
+
+// execSelect runs a retrieval query immediately and assembles the
+// multitable.
+func (s *Session) execSelect(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
+	f := s.f
+	if len(s.scope) == 0 {
+		return nil, translate.ErrNoScope
+	}
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
+	prog, meta, err := f.tctx.TranslateQuery(s.scope, s.lets, q)
+	tsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindSelect, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	esp, ectx := obs.StartSpan(ctx, "execute:select", obs.KindEngine)
+	out, err := f.engine.Run(ectx, prog)
+	esp.EndErr(err)
+	if err != nil {
+		return res, err
+	}
+	if err := f.assembleMultitable(res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// execGlobalDML runs a cross-database manipulation statement as its own
+// unit.
+func (s *Session) execGlobalDML(ctx context.Context, q *msqlparser.QueryStmt) (*Result, error) {
+	f := s.f
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
+	prog, meta, err := f.tctx.TranslateQuery(s.scope, s.lets, q)
+	tsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindGlobalDML, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.runPlan(ctx, "dml", prog, meta)
+	if err != nil {
+		return res, err
+	}
+	f.fillFromOutcome(res, meta, out)
+	mUnitOutcomes.With(res.State.String()).Inc()
+	f.maintainGDD(meta, out)
+	if err := s.fireTriggers(ctx, res, meta, out); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// execMultiTx runs a multitransaction.
+func (s *Session) execMultiTx(ctx context.Context, m *msqlparser.MultiTxStmt) (*Result, error) {
+	f := s.f
+	tsp, _ := obs.StartSpan(ctx, "translate", obs.KindTranslate)
+	prog, meta, err := f.tctx.TranslateMultiTx(m)
+	tsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: KindMultiTx, DOL: printPlan(ctx, prog), Skipped: meta.Skipped}
+	if f.DryRun {
+		return res, nil
+	}
+	out, err := f.runPlan(ctx, "multitx", prog, meta)
+	if err != nil {
+		return res, err
+	}
+	f.fillFromOutcome(res, meta, out)
+	if res.Status >= 0 && res.Status < len(meta.AcceptableStates) {
+		res.AchievedState = meta.AcceptableStates[res.Status]
+		res.State = StateSuccess
+	} else {
+		res.State = StateAborted
+	}
+	mUnitOutcomes.With(res.State.String()).Inc()
+	return res, nil
+}

@@ -16,6 +16,9 @@ var (
 	mRetries = obs.Default().CounterVec("msql_site_retries_total",
 		"Control-plane retries after transient failures, per site.",
 		"site")
+	mPoolReuse = obs.Default().CounterVec("msql_site_conn_reuse_total",
+		"Session opens served by a pooled idle connection instead of a fresh dial, per site.",
+		"site")
 	mBreakerTransitions = obs.Default().CounterVec("msql_breaker_transitions_total",
 		"Circuit-breaker state transitions per service, labeled by the state entered.",
 		"service", "to")

@@ -1,0 +1,297 @@
+package lam
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"msql/internal/ldbms"
+	"msql/internal/netfault"
+)
+
+// proxiedServer starts a LAM TCP server behind a netfault proxy and
+// returns the proxy (clients dial proxy.Addr()).
+func proxiedServer(t *testing.T) *netfault.Proxy {
+	t.Helper()
+	srv := deltaServer(t)
+	ts, err := Serve("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	p, err := netfault.New(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestCancelUnblocksCallHungMidFrame drives a call into a blackholed
+// link — bytes vanish, the reply never comes — and cancels its context.
+// The caller must get control back promptly instead of sitting out the
+// full CallTimeout pinned on the read.
+func TestCancelUnblocksCallHungMidFrame(t *testing.T) {
+	p := proxiedServer(t)
+	r, err := DialWith(context.Background(), p.Addr(), DialOptions{CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sess, err := r.Open(context.Background(), "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetBlackhole(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Exec(ctx, "SELECT * FROM flight")
+	if err == nil {
+		t.Fatal("exec on a blackholed link succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v; the caller was pinned mid-frame", d)
+	}
+}
+
+// TestWaiterNotPinnedBehindHungCall issues a second call on a connection
+// whose current call is hung on a blackholed link. The second caller's
+// short deadline must bound ITS wait for the connection — it gives up
+// when its context dies, not when the hung call's generous CallTimeout
+// finally fires.
+func TestWaiterNotPinnedBehindHungCall(t *testing.T) {
+	p := proxiedServer(t)
+	r, err := DialWith(context.Background(), p.Addr(), DialOptions{CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sess, err := r.Open(context.Background(), "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetBlackhole(true)
+	hung := make(chan error, 1)
+	hctx, hcancel := context.WithCancel(context.Background())
+	defer hcancel()
+	go func() {
+		_, err := sess.Exec(hctx, "SELECT * FROM flight")
+		hung <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first call occupy the wire
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Exec(ctx, "SELECT * FROM flight")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("waiter blocked %v behind the hung call", elapsed)
+	}
+
+	hcancel()
+	if err := <-hung; err == nil {
+		t.Fatal("hung call succeeded on a blackholed link")
+	}
+}
+
+// TestSessionConnPooling checks that cleanly closed session connections
+// are reused by later opens, the pool never grows past PoolSize, and a
+// pooled connection gone stale falls through to a fresh dial instead of
+// failing the open.
+func TestSessionConnPooling(t *testing.T) {
+	p := proxiedServer(t)
+	r, err := DialWith(context.Background(), p.Addr(), DialOptions{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	idleLen := func() int {
+		r.poolMu.Lock()
+		defer r.poolMu.Unlock()
+		return len(r.idle)
+	}
+
+	s1, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstConn := s1.(*remoteSession).conn
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if idleLen() != 1 {
+		t.Fatalf("idle = %d after clean close, want 1", idleLen())
+	}
+
+	s2, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.(*remoteSession).conn != firstConn {
+		t.Fatal("open did not reuse the pooled connection")
+	}
+	if idleLen() != 0 {
+		t.Fatalf("idle = %d while pooled conn in use, want 0", idleLen())
+	}
+	// The reused session must actually work.
+	if _, err := s2.Exec(ctx, "SELECT * FROM flight"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three concurrent sessions, all closed: pool keeps only PoolSize.
+	s3, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Session{s2, s3, s4} {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idleLen() != 2 {
+		t.Fatalf("idle = %d, want capped at PoolSize 2", idleLen())
+	}
+
+	// Kill the pooled connections under the pool's feet: the next open
+	// must discard them and dial fresh.
+	p.Sever()
+	time.Sleep(20 * time.Millisecond)
+	s5, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatalf("open after severed pooled conns: %v", err)
+	}
+	if _, err := s5.Exec(ctx, "SELECT * FROM flight"); err != nil {
+		t.Fatal(err)
+	}
+	s5.Close()
+}
+
+// TestPoolNeverReusesFailedConn checks a connection that carried a
+// transport failure — whose server-side state is unknowable — is
+// discarded on session close, not returned to the pool.
+func TestPoolNeverReusesFailedConn(t *testing.T) {
+	p := proxiedServer(t)
+	r, err := DialWith(context.Background(), p.Addr(),
+		DialOptions{PoolSize: 2, CallTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	sess, err := r.Open(ctx, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetBlackhole(true)
+	if _, err := sess.Exec(ctx, "SELECT * FROM flight"); err == nil {
+		t.Fatal("exec on blackholed link succeeded")
+	}
+	p.SetBlackhole(false)
+	sess.Close()
+	r.poolMu.Lock()
+	n := len(r.idle)
+	r.poolMu.Unlock()
+	if n != 0 {
+		t.Fatalf("poisoned connection was pooled (idle = %d)", n)
+	}
+}
+
+// gatedClient blocks Profile until released, so a half-open trial can be
+// held in flight while concurrent callers probe the breaker.
+type gatedClient struct {
+	flakyClient
+	entered chan struct{} // one send per Profile call entering
+	release chan struct{} // Profile returns when closed
+}
+
+func (g *gatedClient) Profile(ctx context.Context) (ldbms.Profile, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return ldbms.Profile{Name: "flaky"}, g.err()
+}
+
+// TestHalfOpenAdmitsSingleConcurrentProbe hammers a cooled-down open
+// breaker with concurrent gated calls: exactly one may pass as the
+// half-open trial; every other caller must fail fast with
+// ErrBreakerOpen while the trial is still in flight, and a successful
+// trial closes the breaker for everyone.
+func TestHalfOpenAdmitsSingleConcurrentProbe(t *testing.T) {
+	gc := &gatedClient{
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	b := WithBreaker(gc, BreakerPolicy{Threshold: 1, Cooldown: 20 * time.Millisecond})
+
+	gc.setFailing(true, false)
+	if _, err := b.Describe(context.Background(), "db", "t"); err == nil {
+		t.Fatal("expected transient failure")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	gc.setFailing(false, false)
+	time.Sleep(30 * time.Millisecond) // cooldown elapses → next call is the trial
+
+	const callers = 16
+	errCh := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := b.Profile(context.Background())
+			errCh <- err
+		}()
+	}
+
+	// Exactly one trial enters the inner client...
+	select {
+	case <-gc.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no trial reached the inner client")
+	}
+	// ...and while it is in flight, every other caller fails fast.
+	fastFailed := 0
+	for fastFailed < callers-1 {
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, ErrBreakerOpen) {
+				t.Fatalf("concurrent caller err = %v, want ErrBreakerOpen", err)
+			}
+			fastFailed++
+		case <-gc.entered:
+			t.Fatal("second probe reached the inner client during the trial")
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d callers failed fast; rest are stuck behind the trial",
+				fastFailed, callers-1)
+		}
+	}
+
+	close(gc.release) // trial succeeds
+	if err := <-errCh; err != nil {
+		t.Fatalf("trial err = %v, want success", err)
+	}
+	wg.Wait()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %s after successful trial, want closed", b.State())
+	}
+}

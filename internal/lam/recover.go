@@ -97,6 +97,25 @@ func Resolve(ctx context.Context, addr string, sessionID int64, commit bool) (ld
 	return final, nil
 }
 
+// InDoubtSessions asks the LAM at addr for its parked prepared sessions
+// (wire.ReqInDoubt) — the participant's in-doubt inventory. A
+// recovering coordinator matches the listing against its own journal:
+// sessions it has no prepared record for were orphaned by a crash that
+// landed between the participant's vote and the coordinator's journal
+// write, and fall under presumed abort.
+func InDoubtSessions(ctx context.Context, addr string) ([]wire.InDoubtSession, error) {
+	conn, err := dialResolveConn(ctx, addr, wire.ReqInDoubt, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.close()
+	resp, err := conn.call(ctx, &wire.Request{Kind: wire.ReqInDoubt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.InDoubt, nil
+}
+
 // Forget delivers the coordinator's end-of-multitransaction
 // acknowledgment for a once-prepared session: the coordinator holds a
 // durable terminal outcome and will never ask again, so the participant

@@ -110,6 +110,14 @@ type DialOptions struct {
 	// Retry is the transient-failure policy for control-plane calls
 	// (profile, describe, list, open). Zero value means DefaultRetry.
 	Retry RetryPolicy
+	// PoolSize caps the idle session connections kept for reuse by Open
+	// (0 = pooling disabled; every session dials a fresh connection).
+	// Pooling amortizes the TCP+gob handshake under session churn; a
+	// connection is only returned to the pool after a clean session
+	// close, so a conn that ever carried a transport failure — whose
+	// server-side state is unknowable — is discarded, preserving the
+	// conn-death ⇒ in-doubt 2PC semantics.
+	PoolSize int
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -131,23 +139,32 @@ type Remote struct {
 	service string
 	opts    DialOptions
 
-	// base is guarded by the rpcConn's own mutex plus this one for swap.
+	// base is guarded by the rpcConn's own lock plus this one for swap.
 	baseMu struct {
 		ch chan *rpcConn // 1-buffered slot; nil element = needs redial
 	}
+
+	// pool holds idle session connections for reuse by Open when
+	// opts.PoolSize > 0.
+	poolMu     sync.Mutex
+	idle       []*rpcConn
+	poolClosed bool
 }
 
-// rpcConn is one gob request/response channel. The mutex serializes
-// request/response exchanges: the stream carries one call at a time.
+// rpcConn is one gob request/response channel. The 1-buffered semaphore
+// serializes request/response exchanges — the stream carries one call at
+// a time — while letting a caller whose context dies while waiting give
+// up immediately instead of sitting behind a hung call for the peer's
+// full timeout (a mutex would pin it there).
 type rpcConn struct {
-	mu      sync.Mutex
+	sem     chan struct{}
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	addr    string
 	service string
 	timeout time.Duration
-	broken  error
+	broken  error // guarded by sem
 }
 
 func dialConn(ctx context.Context, addr string, opts DialOptions) (*rpcConn, error) {
@@ -157,6 +174,7 @@ func dialConn(ctx context.Context, addr string, opts DialOptions) (*rpcConn, err
 		return nil, err
 	}
 	return &rpcConn{
+		sem:     make(chan struct{}, 1),
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
 		dec:     gob.NewDecoder(conn),
@@ -206,8 +224,14 @@ func (c *rpcConn) noteCall(op string, start time.Time, err error) {
 // stream) poisons the connection and is wrapped in *OpError. Errors the
 // server answered with are returned as-is — they are definite.
 func (c *rpcConn) exchange(ctx context.Context, req *wire.Request) (*wire.Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Never started: the wire was not touched, so the outcome is
+		// definite (nothing happened), not in-doubt.
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
 	if c.broken != nil {
 		return nil, &OpError{Service: c.service, Addr: c.addr, Op: req.Kind, Session: req.SessionID,
 			Err: fmt.Errorf("%w: %v", ErrConnBroken, c.broken)}
@@ -262,6 +286,20 @@ func (c *rpcConn) exchange(ctx context.Context, req *wire.Request) (*wire.Respon
 }
 
 func (c *rpcConn) close() error { return c.conn.Close() }
+
+// idleAndHealthy reports whether the connection has no call in flight
+// and no recorded transport failure, using a non-blocking semaphore
+// probe so a hung in-flight call never blocks the check.
+func (c *rpcConn) idleAndHealthy() bool {
+	select {
+	case c.sem <- struct{}{}:
+		ok := c.broken == nil
+		<-c.sem
+		return ok
+	default:
+		return false
+	}
+}
 
 // Dial connects to a LAM TCP server with default options.
 func Dial(addr string) (*Remote, error) {
@@ -347,11 +385,30 @@ func (r *Remote) Profile(ctx context.Context) (ldbms.Profile, error) {
 	return resp.Profile.ToProfile(), nil
 }
 
-// Open implements Client: it dials a dedicated connection for the session.
-// The dial+open pair is retried as a unit on transient failures — no
+// Open implements Client: it takes a pooled idle connection when one is
+// available, else dials a dedicated connection for the session. The
+// dial+open pair is retried as a unit on transient failures — no
 // transaction state exists yet, so the replay is safe (an orphaned
 // server-side session from a lost reply dies with its connection).
 func (r *Remote) Open(ctx context.Context, db string) (Session, error) {
+	// Pooled conns first. A pooled conn gone stale (server restarted,
+	// idle timeout) just falls through to the dial path; stale pops do
+	// not consume retry attempts.
+	for {
+		conn := r.popIdle()
+		if conn == nil {
+			break
+		}
+		resp, err := conn.call(ctx, &wire.Request{Kind: wire.ReqOpen, Database: db})
+		if err == nil {
+			mPoolReuse.With(r.addr).Inc()
+			return &remoteSession{conn: conn, r: r, addr: r.addr, id: resp.SessionID, db: db}, nil
+		}
+		conn.close()
+		if !wire.Transient(err) {
+			return nil, err
+		}
+	}
 	var last error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -365,7 +422,7 @@ func (r *Remote) Open(ctx context.Context, db string) (Session, error) {
 			var resp *wire.Response
 			resp, err = conn.call(ctx, &wire.Request{Kind: wire.ReqOpen, Database: db})
 			if err == nil {
-				return &remoteSession{conn: conn, addr: r.addr, id: resp.SessionID, db: db}, nil
+				return &remoteSession{conn: conn, r: r, addr: r.addr, id: resp.SessionID, db: db}, nil
 			}
 			conn.close()
 		}
@@ -375,6 +432,42 @@ func (r *Remote) Open(ctx context.Context, db string) (Session, error) {
 		}
 		mRetries.With(r.addr).Inc()
 	}
+}
+
+// popIdle takes an idle pooled connection, newest first (most likely
+// still alive), or nil when the pool is empty or pooling is off.
+func (r *Remote) popIdle() *rpcConn {
+	if r.opts.PoolSize <= 0 {
+		return nil
+	}
+	r.poolMu.Lock()
+	defer r.poolMu.Unlock()
+	if n := len(r.idle); n > 0 {
+		c := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		return c
+	}
+	return nil
+}
+
+// putIdle offers a healthy session connection back to the pool, closing
+// it instead when pooling is off, the pool is full, or the Remote is
+// closed. Health is judged with a non-blocking probe of the call
+// semaphore: a conn with a call still in flight (someone else may be
+// mid-frame on it) or a recorded transport failure is never pooled.
+func (r *Remote) putIdle(c *rpcConn) {
+	if r.opts.PoolSize <= 0 || !c.idleAndHealthy() {
+		c.close()
+		return
+	}
+	r.poolMu.Lock()
+	if r.poolClosed || len(r.idle) >= r.opts.PoolSize {
+		r.poolMu.Unlock()
+		c.close()
+		return
+	}
+	r.idle = append(r.idle, c)
+	r.poolMu.Unlock()
 }
 
 // Describe implements Client.
@@ -406,6 +499,14 @@ func (r *Remote) ListViews(ctx context.Context, db string) ([]string, error) {
 
 // Close implements Client.
 func (r *Remote) Close() error {
+	r.poolMu.Lock()
+	r.poolClosed = true
+	idle := r.idle
+	r.idle = nil
+	r.poolMu.Unlock()
+	for _, c := range idle {
+		c.close()
+	}
 	c := <-r.baseMu.ch
 	r.baseMu.ch <- nil
 	if c != nil {
@@ -416,6 +517,7 @@ func (r *Remote) Close() error {
 
 type remoteSession struct {
 	conn *rpcConn
+	r    *Remote // for returning conn to the pool; nil in recovery paths
 	addr string
 	id   int64
 	db   string
@@ -471,6 +573,10 @@ func (s *remoteSession) Database() string { return s.db }
 
 func (s *remoteSession) Close() error {
 	_, err := s.call(context.Background(), &wire.Request{Kind: wire.ReqCloseSession})
+	if err == nil && s.r != nil {
+		s.r.putIdle(s.conn)
+		return nil
+	}
 	cerr := s.conn.close()
 	if err != nil {
 		return err

@@ -66,7 +66,11 @@ type TCPServer struct {
 // re-materialized from the participant journal after a restart rather
 // than parked live.
 type parkedSession struct {
-	sess      *ldbms.Session
+	sess *ldbms.Session
+	// mtid is the coordinator multitransaction id the prepare carried
+	// (zero for unjournaled coordinators), reported by ReqInDoubt so a
+	// recovering coordinator can match the session against its journal.
+	mtid      uint64
 	recovered bool
 }
 
@@ -196,7 +200,7 @@ func (t *TCPServer) replay() error {
 				s.Close()
 				return fmt.Errorf("session %d: re-prepare: %w", ps.SID, err)
 			}
-			t.parked[ps.SID] = &parkedSession{sess: s, recovered: true}
+			t.parked[ps.SID] = &parkedSession{sess: s, mtid: ps.MTID, recovered: true}
 			// A later prepared round supersedes an earlier committed round's
 			// tombstone for the same id (multi-sync-point programs).
 			delete(t.tombstone, ps.SID)
@@ -343,27 +347,38 @@ func (t *TCPServer) allocID() int64 {
 }
 
 // park saves a prepared session orphaned by its connection.
-func (t *TCPServer) park(id int64, s *ldbms.Session) {
+func (t *TCPServer) park(id int64, s *ldbms.Session, mtid uint64) {
 	t.sessMu.Lock()
-	t.parked[id] = &parkedSession{sess: s}
+	t.parked[id] = &parkedSession{sess: s, mtid: mtid}
 	t.publishGaugesLocked()
 	t.sessMu.Unlock()
 }
 
 // attach re-binds a parked session; when the session already reached an
 // outcome it returns the recorded terminal state instead.
-func (t *TCPServer) attach(id int64) (*ldbms.Session, ldbms.SessionState, bool) {
+func (t *TCPServer) attach(id int64) (*ldbms.Session, ldbms.SessionState, uint64, bool) {
 	t.sessMu.Lock()
 	defer t.sessMu.Unlock()
 	if p, ok := t.parked[id]; ok {
 		delete(t.parked, id)
 		t.publishGaugesLocked()
-		return p.sess, p.sess.State(), true
+		return p.sess, p.sess.State(), p.mtid, true
 	}
 	if tb, ok := t.tombstone[id]; ok {
-		return nil, tb.state, true
+		return nil, tb.state, 0, true
 	}
-	return nil, 0, false
+	return nil, 0, 0, false
+}
+
+// inDoubtSessions snapshots the parked prepared sessions for ReqInDoubt.
+func (t *TCPServer) inDoubtSessions() []wire.InDoubtSession {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	out := make([]wire.InDoubtSession, 0, len(t.parked))
+	for id, p := range t.parked {
+		out = append(out, wire.InDoubtSession{SessionID: id, MTID: p.mtid})
+	}
+	return out
 }
 
 // recordOutcome remembers the terminal state of a once-prepared session,
@@ -460,10 +475,12 @@ func (t *TCPServer) acceptLoop() {
 	}
 }
 
-// connState is the per-connection session table.
+// connState is the per-connection session table. prepared maps sessions
+// that entered the prepared state to the multitransaction id their
+// prepare carried.
 type connState struct {
 	sessions map[int64]*ldbms.Session
-	prepared map[int64]bool // sessions that entered the prepared state
+	prepared map[int64]uint64
 }
 
 func (t *TCPServer) handle(conn net.Conn) {
@@ -477,7 +494,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	cs := &connState{sessions: make(map[int64]*ldbms.Session), prepared: make(map[int64]bool)}
+	cs := &connState{sessions: make(map[int64]*ldbms.Session), prepared: make(map[int64]uint64)}
 	defer func() {
 		// The connection is gone. Prepared sessions are in-doubt: park them
 		// for coordinator recovery instead of rolling back. Everything else
@@ -485,11 +502,11 @@ func (t *TCPServer) handle(conn net.Conn) {
 		// session had been prepared (its fate matters to a coordinator).
 		for id, s := range cs.sessions {
 			if s.State() == ldbms.StatePrepared {
-				t.park(id, s)
+				t.park(id, s, cs.prepared[id])
 				continue
 			}
 			s.Close()
-			if cs.prepared[id] {
+			if _, ok := cs.prepared[id]; ok {
 				t.recordOutcome(id, s.State())
 			}
 		}
@@ -618,7 +635,7 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 				return fail(fmt.Errorf("lam: journal prepare: %w", err))
 			}
 		}
-		cs.prepared[req.SessionID] = true
+		cs.prepared[req.SessionID] = req.MTID
 	case wire.ReqCommit:
 		s, ok := session()
 		if !ok {
@@ -627,7 +644,7 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 		if err := s.Commit(); err != nil {
 			return fail(err)
 		}
-		if cs.prepared[req.SessionID] {
+		if _, ok := cs.prepared[req.SessionID]; ok {
 			// The once-prepared session reached its outcome on a live
 			// connection: record the tombstone now (journaled and fsynced
 			// for commits), so a crash between this reply and the
@@ -645,7 +662,7 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 		if err := s.Rollback(); err != nil {
 			return fail(err)
 		}
-		if cs.prepared[req.SessionID] {
+		if _, ok := cs.prepared[req.SessionID]; ok {
 			t.recordOutcome(req.SessionID, ldbms.StateAborted)
 			delete(cs.prepared, req.SessionID)
 		}
@@ -656,21 +673,23 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 		}
 		resp.State = uint8(s.State())
 	case wire.ReqAttach:
-		s, st, ok := t.attach(req.SessionID)
+		s, st, mtid, ok := t.attach(req.SessionID)
 		if !ok {
 			return noSession()
 		}
 		if s != nil {
 			cs.sessions[req.SessionID] = s
-			cs.prepared[req.SessionID] = true
+			cs.prepared[req.SessionID] = mtid
 		}
 		resp.State = uint8(st)
 	case wire.ReqForget:
 		t.forget(req.SessionID)
+	case wire.ReqInDoubt:
+		resp.InDoubt = t.inDoubtSessions()
 	case wire.ReqCloseSession:
 		if s, ok := session(); ok {
 			s.Close()
-			if cs.prepared[req.SessionID] {
+			if _, wasPrepared := cs.prepared[req.SessionID]; wasPrepared {
 				t.recordOutcome(req.SessionID, s.State())
 			}
 			delete(cs.sessions, req.SessionID)

@@ -1,0 +1,96 @@
+package mdserver
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"msql/internal/wire"
+)
+
+// Client is one connection to a coordinator server. Sequential Script
+// calls share server-side session state (USE scope, LET bindings, the
+// open unit); concurrent multitransactions come from concurrent Clients.
+// A Client must be used from one goroutine at a time, except Close,
+// which may be called concurrently to abandon an in-flight Script (the
+// soak tests do this deliberately to exercise mid-2PC disconnects).
+type Client struct {
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	tenant string
+	broken atomic.Bool // may be set by a concurrent Close
+}
+
+// Dial connects to a coordinator server. The tenant string is this
+// client's admission-control identity; empty means anonymous.
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:   conn,
+		enc:    gob.NewEncoder(conn),
+		dec:    gob.NewDecoder(conn),
+		tenant: tenant,
+	}, nil
+}
+
+// Script executes an MSQL script in the connection's session and
+// returns the per-statement outcomes. Script-level failures (parse
+// error, admission shed, statement timeout) come back as the error —
+// errors.Is works for sentinels the wire preserves, admit.ErrOverload
+// among them — alongside whatever statements completed first. The
+// context deadline bounds the whole round trip; a canceled context or
+// transport failure leaves the connection unusable (the gob stream
+// cannot be resynchronized) and the client must be discarded.
+func (c *Client) Script(ctx context.Context, src string) ([]wire.ScriptResult, error) {
+	if c.broken.Load() {
+		return nil, ErrClientClosed
+	}
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	_ = c.conn.SetDeadline(deadline)
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+	}
+	fail := func(err error) ([]wire.ScriptResult, error) {
+		c.broken.Store(true)
+		_ = c.conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		return nil, err
+	}
+	req := &wire.Request{Kind: wire.ReqScript, SQL: src, Tenant: c.tenant}
+	if err := c.enc.Encode(req); err != nil {
+		return fail(err)
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fail(err)
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	return resp.Script, resp.Err()
+}
+
+// Close severs the connection. Safe to call while a Script is in
+// flight: the in-flight call fails and the server treats the session as
+// disconnected.
+func (c *Client) Close() error {
+	c.broken.Store(true)
+	return c.conn.Close()
+}

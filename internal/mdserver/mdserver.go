@@ -1,0 +1,313 @@
+// Package mdserver is the multidatabase coordinator server: it exposes a
+// shared core.Federation to many concurrent clients over the wire
+// protocol. Each accepted connection gets its own core.Session — USE
+// scope, LET bindings, and the pending transaction unit are per
+// connection, while the directories, LAM clients, DOL engine, and the
+// group-committing coordinator journal are shared — so independent
+// clients run independent multitransactions in parallel.
+//
+// The server enforces two capacity boundaries. MaxSessions caps live
+// connections: a client beyond it is answered wire.CodeOverload on its
+// first request and disconnected, never silently queued. Statement-level
+// admission control and timeouts come from the federation itself
+// (core.Federation.SetAdmission / StmtTimeout) and surface to clients as
+// wire errors per script.
+//
+// A client that disconnects mid-script cancels the connection context:
+// the in-flight statement's subqueries fail promptly, and the engine's
+// termination protocol drives any prepared participant to a clean
+// presumed-abort or completed commit on its own recovery budget — an
+// abandoned session is never left parked.
+package mdserver
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"msql/internal/admit"
+	"msql/internal/core"
+	"msql/internal/obs"
+	"msql/internal/wire"
+)
+
+var (
+	mSessions = obs.Default().Gauge("msql_coord_sessions",
+		"Live client sessions on the coordinator server.")
+	mScripts = obs.Default().CounterVec("msql_coord_scripts_total",
+		"Scripts executed by the coordinator server, by outcome.", "outcome")
+	mRejected = obs.Default().Counter("msql_coord_sessions_rejected_total",
+		"Connections rejected with overload because MaxSessions was reached.")
+)
+
+// Options configure the coordinator server.
+type Options struct {
+	// MaxSessions caps concurrent client connections (default 64). A
+	// connection beyond the cap is answered wire.CodeOverload and closed.
+	MaxSessions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	return o
+}
+
+// Server accepts client connections and executes their MSQL scripts
+// against a shared federation.
+type Server struct {
+	fed  *core.Federation
+	ln   net.Listener
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a coordinator server for fed at addr (use "127.0.0.1:0"
+// for an ephemeral port) and returns immediately.
+func Serve(addr string, fed *core.Federation, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{fed: fed, ln: ln, opts: opts.withDefaults(), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ActiveSessions reports the number of live client connections.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops the listener and severs all client connections, then waits
+// for their handlers to finish. Statements already executing run to
+// completion against the (canceled) connection context — the engine's
+// termination protocol still resolves any prepared participants.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		over := len(s.conns) >= s.opts.MaxSessions
+		if !over {
+			s.conns[conn] = struct{}{}
+			mSessions.Set(int64(len(s.conns)))
+		}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		if over {
+			go s.reject(conn)
+			continue
+		}
+		go s.handle(conn)
+	}
+}
+
+// reject answers an over-cap connection's first request with an
+// overload error, then closes it. The client gets a definite in-protocol
+// answer — it was shed, nothing executed — instead of a silent hangup.
+func (s *Server) reject(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	mRejected.Inc()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req wire.Request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	resp := &wire.Response{}
+	resp.ErrCode, resp.ErrMsg = wire.EncodeError(
+		fmt.Errorf("%d sessions at capacity: %w", s.opts.MaxSessions, admit.ErrOverload))
+	_ = enc.Encode(resp)
+}
+
+// handle runs one connection's request loop. Requests are decoded by a
+// reader goroutine feeding a channel: when the client disconnects — even
+// while a statement is executing — the decode error cancels the
+// connection context, so abandoned work is interrupted at the next
+// cancellation point instead of running blind until completion.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		mSessions.Set(int64(len(s.conns)))
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	type decoded struct {
+		req *wire.Request
+		err error
+	}
+	reqCh := make(chan decoded)
+	go func() {
+		for {
+			var req wire.Request
+			if err := dec.Decode(&req); err != nil {
+				cancel() // client gone: interrupt any in-flight statement
+				select {
+				case reqCh <- decoded{err: err}:
+				case <-ctx.Done():
+				}
+				close(reqCh)
+				return
+			}
+			select {
+			case reqCh <- decoded{req: &req}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var sess *core.Session
+	for d := range reqCh {
+		if d.err != nil {
+			return
+		}
+		req := d.req
+		resp := &wire.Response{}
+		switch req.Kind {
+		case wire.ReqHello:
+			resp.ServiceNm = "msqld"
+		case wire.ReqScript:
+			if sess == nil {
+				sess = s.fed.NewSession(req.Tenant)
+			}
+			results, err := sess.ExecScriptContext(ctx, req.SQL)
+			resp.Script = toScriptResults(results, err)
+			if err != nil {
+				resp.ErrCode, resp.ErrMsg = wire.EncodeError(err)
+				mScripts.With("error").Inc()
+			} else {
+				mScripts.With("ok").Inc()
+			}
+		default:
+			resp.ErrCode, resp.ErrMsg = wire.EncodeError(
+				fmt.Errorf("mdserver: unsupported request kind %s", req.Kind))
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// toScriptResults converts the coordinator's per-statement results to
+// their wire form. A trailing script error is appended as a failed
+// entry so the client's transcript shows where execution stopped.
+func toScriptResults(results []*core.Result, scriptErr error) []wire.ScriptResult {
+	out := make([]wire.ScriptResult, 0, len(results)+1)
+	for _, r := range results {
+		out = append(out, toScriptResult(r))
+	}
+	if scriptErr != nil {
+		out = append(out, wire.ScriptResult{Kind: "error", Failed: true, Detail: scriptErr.Error()})
+	}
+	return out
+}
+
+func toScriptResult(r *core.Result) wire.ScriptResult {
+	w := wire.ScriptResult{Kind: kindString(r.Kind)}
+	switch r.Kind {
+	case core.KindSelect:
+		if r.Multitable != nil {
+			if flat, err := r.Multitable.Flatten(); err == nil {
+				for _, c := range flat.Columns {
+					w.Columns = append(w.Columns, c.Name)
+				}
+				for _, row := range flat.Rows {
+					cells := make([]string, len(row))
+					for i, v := range row {
+						cells[i] = v.String()
+					}
+					w.Rows = append(w.Rows, cells)
+				}
+			}
+			w.Detail = fmt.Sprintf("%d row(s)", r.Multitable.TotalRows())
+		}
+	case core.KindSync, core.KindGlobalDML:
+		w.State = r.State.String()
+		w.Detail = fmt.Sprintf("DOLSTATUS=%d", r.Status)
+	case core.KindMultiTx:
+		if r.AchievedState != nil {
+			w.State = "success"
+			w.Detail = fmt.Sprintf("acceptable state %d: %s", r.Status, strings.Join(r.AchievedState, " AND "))
+		} else {
+			w.State = "failed"
+			w.Detail = fmt.Sprintf("no acceptable state reachable (DOLSTATUS=%d)", r.Status)
+		}
+	case core.KindIncorporate:
+		w.Detail = "service incorporated"
+	case core.KindImport:
+		w.Detail = "database imported"
+	}
+	return w
+}
+
+func kindString(k core.ResultKind) string {
+	switch k {
+	case core.KindSelect:
+		return "select"
+	case core.KindSync:
+		return "sync"
+	case core.KindGlobalDML:
+		return "global-dml"
+	case core.KindMultiTx:
+		return "multitx"
+	case core.KindIncorporate:
+		return "incorporate"
+	case core.KindImport:
+		return "import"
+	case core.KindNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ErrClientClosed marks calls on an already-closed Client.
+var ErrClientClosed = errors.New("mdserver: client closed")

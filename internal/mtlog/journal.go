@@ -5,18 +5,23 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"msql/internal/obs"
 )
 
 // Journal metrics (see DESIGN.md §8). Fsync latency is the write-ahead
-// rule's price: every TPrepared/TDecision append pays one forced flush.
+// rule's price: every TPrepared/TDecision append pays one forced flush —
+// or, under group commit, a share of one.
 var (
 	mAppends = obs.Default().CounterVec("msql_journal_appends_total",
 		"Journal records appended, by record type.", "type")
 	mFsync = obs.Default().Histogram("msql_journal_fsync_seconds",
 		"Latency of the fsync forced by TPrepared/TDecision appends.", nil)
+	mBatch = obs.Default().Histogram("msql_journal_group_batch_records",
+		"Sync-requiring records made durable per group-commit fsync.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 )
 
 // Journal is an append-only multitransaction log on one file. Appends
@@ -31,6 +36,16 @@ type Journal struct {
 	path   string
 	nextID uint64
 	closed bool
+
+	// gc, when non-nil, batches the fsyncs of concurrent sync-requiring
+	// appends (group commit). Set once via SetGroupCommit.
+	gc *groupCommitter
+
+	// syncRecs counts TPrepared/TDecision appends; fsyncs counts the
+	// Append-path fsyncs actually issued. Under group commit fsyncs grows
+	// sublinearly in syncRecs — the batching the bench asserts on.
+	syncRecs atomic.Int64
+	fsyncs   atomic.Int64
 }
 
 // Open opens (creating if needed) the journal at path, validates its
@@ -68,28 +83,190 @@ func (j *Journal) NextID() uint64 {
 // to stable storage before Append returns; an fsync also makes every
 // earlier record durable, so a synced decision implies its
 // multitransaction's begin and prepared records are on disk too.
+//
+// With group commit enabled (SetGroupCommit), sync-requiring appends from
+// concurrent multitransactions share one fsync: the record's bytes are
+// written under the journal lock, the caller registers as a waiter with
+// the flusher goroutine, and Append returns only after the batch fsync
+// covering those bytes has returned. Durability is never acknowledged
+// early — only amortized.
 func (j *Journal) Append(rec *Record) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed {
+		j.mu.Unlock()
 		return errors.New("mtlog: journal closed")
 	}
 	buf, err := appendRecord(nil, rec)
 	if err != nil {
+		j.mu.Unlock()
 		return err
 	}
 	if _, err := j.f.Write(buf); err != nil {
+		j.mu.Unlock()
 		return err
 	}
-	if rec.Type == TPrepared || rec.Type == TDecision {
-		start := time.Now()
-		if err := j.f.Sync(); err != nil {
-			return err
-		}
-		mFsync.ObserveSince(start)
-	}
+	gc := j.gc
+	j.mu.Unlock()
 	mAppends.With(rec.Type.String()).Inc()
+	if rec.Type != TPrepared && rec.Type != TDecision {
+		return nil
+	}
+	j.syncRecs.Add(1)
+	if gc != nil {
+		return gc.waitDurable()
+	}
+	start := time.Now()
+	j.mu.Lock()
+	err = j.syncLocked()
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	mFsync.ObserveSince(start)
 	return nil
+}
+
+// syncLocked fsyncs the journal file and counts the fsync. Callers must
+// hold j.mu. The current j.f is synced even if a concurrent Compact
+// swapped files since the caller's record was written: compaction itself
+// syncs the rewritten file before the rename, so the record is durable
+// either way.
+func (j *Journal) syncLocked() error {
+	if j.closed {
+		return errors.New("mtlog: journal closed")
+	}
+	j.fsyncs.Add(1)
+	return j.f.Sync()
+}
+
+// SyncStats reports how many sync-requiring records (TPrepared,
+// TDecision) have been appended and how many Append-path fsyncs were
+// issued for them. Without group commit the two grow in lockstep; with it
+// fsyncs lags — the observable proof that concurrent decisions share
+// flushes.
+func (j *Journal) SyncStats() (syncRecords, fsyncs int64) {
+	return j.syncRecs.Load(), j.fsyncs.Load()
+}
+
+// SetGroupCommit enables group commit with the given batch window: a
+// dedicated flusher goroutine accumulates sync-requiring appends for up
+// to window, then makes the whole batch durable with a single fsync and
+// only then releases the waiting appenders. A window of zero or less
+// leaves the journal in inline-fsync mode. Enable before sharing the
+// journal; calling it twice or after Close is a no-op.
+func (j *Journal) SetGroupCommit(window time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.gc != nil || window <= 0 {
+		return
+	}
+	gc := &groupCommitter{
+		j:      j,
+		window: window,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	j.gc = gc
+	go gc.run()
+}
+
+// groupCommitter is the journal's batch flusher. Appenders that need
+// durability park on a per-append channel; the flusher wakes on the first
+// waiter, sleeps the batch window so concurrent decisions can pile in,
+// issues one fsync, and signals every waiter with that fsync's result.
+type groupCommitter struct {
+	j      *Journal
+	window time.Duration
+
+	mu      sync.Mutex
+	waiters []chan error
+	stopped bool
+
+	kick chan struct{} // 1-buffered doorbell from appenders
+	stop chan struct{}
+	done chan struct{}
+}
+
+// waitDurable registers the calling append in the next batch and blocks
+// until that batch's fsync has returned. If the flusher has already shut
+// down (journal closing), it falls back to an inline fsync so no caller
+// is ever left waiting on a dead goroutine.
+func (gc *groupCommitter) waitDurable() error {
+	ch := make(chan error, 1)
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		gc.j.mu.Lock()
+		err := gc.j.syncLocked()
+		gc.j.mu.Unlock()
+		return err
+	}
+	gc.waiters = append(gc.waiters, ch)
+	gc.mu.Unlock()
+	select {
+	case gc.kick <- struct{}{}:
+	default:
+	}
+	return <-ch
+}
+
+func (gc *groupCommitter) run() {
+	defer close(gc.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-gc.stop:
+			gc.mu.Lock()
+			gc.stopped = true
+			gc.mu.Unlock()
+			gc.flush()
+			return
+		case <-gc.kick:
+		}
+		// Hold the batch open for the window so decisions racing in from
+		// other sessions share the fsync.
+		timer.Reset(gc.window)
+		select {
+		case <-timer.C:
+		case <-gc.stop:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		gc.flush()
+	}
+}
+
+// flush makes every currently-registered waiter's bytes durable with one
+// fsync and signals them. Waiter registration happens only after the
+// record's bytes are written to the file, so syncing here covers every
+// waiter collected.
+func (gc *groupCommitter) flush() {
+	gc.mu.Lock()
+	ws := gc.waiters
+	gc.waiters = nil
+	gc.mu.Unlock()
+	if len(ws) == 0 {
+		return
+	}
+	start := time.Now()
+	gc.j.mu.Lock()
+	err := gc.j.syncLocked()
+	gc.j.mu.Unlock()
+	if err == nil {
+		mFsync.ObserveSince(start)
+		mBatch.Observe(float64(len(ws)))
+	}
+	for _, ch := range ws {
+		ch <- err
+	}
 }
 
 // Records returns every record currently in the journal (its valid
@@ -164,8 +341,18 @@ func (j *Journal) Compact() (dropped int, err error) {
 	return len(ended), nil
 }
 
-// Close syncs and closes the journal file.
+// Close syncs and closes the journal file. With group commit enabled the
+// flusher is stopped first and performs a final batch fsync, so every
+// append that returned nil is durable before the file handle goes away.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	gc := j.gc
+	j.gc = nil
+	j.mu.Unlock()
+	if gc != nil {
+		close(gc.stop)
+		<-gc.done
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {

@@ -104,17 +104,3 @@ func (lm *lockManager) releaseAll(txID int64) {
 		l.mu.Unlock()
 	}
 }
-
-// holdsAny reports whether any transaction currently holds key. Used to
-// decide when tombstone compaction is safe.
-func (lm *lockManager) holdsAny(key string) bool {
-	lm.mu.Lock()
-	l, ok := lm.locks[key]
-	lm.mu.Unlock()
-	if !ok {
-		return false
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.holders) > 0
-}

@@ -65,6 +65,14 @@ type undoRec struct {
 	view  *View
 }
 
+// touchedTable remembers a table this transaction locked and the
+// strongest mode it holds, so finishLocked knows which tables it may
+// compact while still exclusively locked.
+type touchedTable struct {
+	tbl  *Table
+	mode LockMode
+}
+
 // Tx is an undo-logged transaction over a Store. A Tx is not safe for
 // concurrent use by multiple goroutines; the session layer serializes it.
 type Tx struct {
@@ -73,7 +81,7 @@ type Tx struct {
 	mu          sync.Mutex
 	state       TxState
 	undo        []undoRec
-	touched     map[string]*Table
+	touched     map[string]touchedTable
 	LockTimeout time.Duration
 }
 
@@ -87,7 +95,7 @@ func (s *Store) Begin() *Tx {
 		store:       s,
 		id:          id,
 		state:       TxActive,
-		touched:     make(map[string]*Table),
+		touched:     make(map[string]touchedTable),
 		LockTimeout: DefaultLockTimeout,
 	}
 }
@@ -136,7 +144,11 @@ func (t *Tx) TableForRead(db, table string) (*Table, error) {
 	if err := t.lock(tableKey(db, table), LockShared); err != nil {
 		return nil, err
 	}
-	t.touched[tableKey(db, table)] = tbl
+	// Never downgrade a recorded X touch: the lock manager upgrades in
+	// place, and finishLocked compacts only exclusively-held tables.
+	if _, ok := t.touched[tableKey(db, table)]; !ok {
+		t.touched[tableKey(db, table)] = touchedTable{tbl: tbl, mode: LockShared}
+	}
 	return tbl, nil
 }
 
@@ -162,7 +174,7 @@ func (t *Tx) tableForWriteLocked(db, table string) (*Table, error) {
 	if err := t.lock(tableKey(db, table), LockExclusive); err != nil {
 		return nil, err
 	}
-	t.touched[tableKey(db, table)] = tbl
+	t.touched[tableKey(db, table)] = touchedTable{tbl: tbl, mode: LockExclusive}
 	return tbl, nil
 }
 
@@ -510,14 +522,18 @@ func (t *Tx) applyUndo(u undoRec) {
 	}
 }
 
-// finishLocked releases the transaction's locks and compacts tombstoned
-// tables that are now quiescent.
+// finishLocked compacts tombstoned tables this transaction still holds
+// exclusively, then releases its locks. Compaction must precede the
+// release: the X lock is what keeps other transactions out of the rows
+// being moved — compacting after releaseAll would race a waiter that
+// acquires the lock the moment the release broadcasts. Tables touched
+// only with S locks are left to their next writer's finish.
 func (t *Tx) finishLocked() {
-	t.store.locks.releaseAll(t.id)
-	for key, tbl := range t.touched {
-		if !t.store.locks.holdsAny(key) {
-			tbl.compact()
+	for _, tt := range t.touched {
+		if tt.mode == LockExclusive {
+			tt.tbl.compact()
 		}
 	}
-	t.touched = make(map[string]*Table)
+	t.touched = make(map[string]touchedTable)
+	t.store.locks.releaseAll(t.id)
 }

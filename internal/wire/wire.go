@@ -17,6 +17,7 @@ import (
 	"net"
 	"syscall"
 
+	"msql/internal/admit"
 	"msql/internal/ldbms"
 	"msql/internal/relstore"
 	"msql/internal/sqlval"
@@ -52,12 +53,29 @@ const (
 	// session out of its journal. Forgetting an unknown session is a
 	// no-op, making the acknowledgment idempotent and safe to retry.
 	ReqForget
+	// ReqScript asks a coordinator server (msqld) to execute an MSQL
+	// script in the requesting connection's session. Unlike the other
+	// kinds — which a LAM serves — this one is served by the coordinator
+	// tier: SQL carries the script source, Tenant the admission-control
+	// identity, and the response's Script field the per-statement
+	// outcomes. Sequential ReqScripts on one connection share session
+	// state (scope, LETs, the open unit); independent connections run in
+	// parallel.
+	ReqScript
+	// ReqInDoubt asks a LAM for its parked prepared sessions — the
+	// in-doubt inventory awaiting a coordinator decision — together with
+	// the multitransaction ids their prepare requests carried. A
+	// recovering coordinator uses the listing to find sessions whose
+	// votes never reached its own journal (the crash landed between the
+	// participant's vote and the coordinator's prepared record) and
+	// terminate them under presumed abort.
+	ReqInDoubt
 )
 
 func (k ReqKind) String() string {
 	names := [...]string{"hello", "profile", "open", "exec", "prepare", "commit",
 		"rollback", "state", "close-session", "describe", "list-tables", "list-views",
-		"attach", "forget"}
+		"attach", "forget", "script", "in-doubt"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -86,6 +104,10 @@ type Request struct {
 	// when the coordinator runs unjournaled; ignored by servers
 	// predating participant durability.
 	MTID uint64
+	// Tenant identifies the client for admission control and fair
+	// queueing on ReqScript. Empty means the anonymous tenant. Ignored
+	// by LAM servers (gob drops unknown fields).
+	Tenant string
 }
 
 // Column mirrors relstore.Column across the wire.
@@ -172,6 +194,7 @@ const (
 	CodeNoTable     = "no-table"
 	CodeNoDatabase  = "no-database"
 	CodeNoSession   = "no-session"
+	CodeOverload    = "overload"
 	CodeOther       = "error"
 )
 
@@ -195,6 +218,8 @@ func EncodeError(err error) (code, msg string) {
 		code = CodeNoDatabase
 	case errors.Is(err, ErrNoSession):
 		code = CodeNoSession
+	case errors.Is(err, admit.ErrOverload):
+		code = CodeOverload
 	default:
 		code = CodeOther
 	}
@@ -223,6 +248,8 @@ func DecodeError(code, msg string) error {
 		sentinel = relstore.ErrNoDatabase
 	case CodeNoSession:
 		sentinel = ErrNoSession
+	case CodeOverload:
+		sentinel = admit.ErrOverload
 	default:
 		return errors.New(msg)
 	}
@@ -244,6 +271,45 @@ type Response struct {
 	// nanoseconds (0 when unmeasured), letting the client split each
 	// call span into wire time vs. LAM work.
 	ServerNS int64
+	// Script carries the per-statement outcomes of a ReqScript. A
+	// script-level failure (parse error, admission shed, timeout) is
+	// reported through ErrCode/ErrMsg instead; Script then holds the
+	// statements that did complete before the failure.
+	Script []ScriptResult
+	// InDoubt answers ReqInDoubt with the server's parked prepared
+	// sessions.
+	InDoubt []InDoubtSession
+}
+
+// InDoubtSession identifies one parked prepared session awaiting a
+// coordinator decision, keyed by the session id a recovering
+// coordinator re-attaches with and the multitransaction id its prepare
+// carried (zero for unjournaled coordinators).
+type InDoubtSession struct {
+	SessionID int64
+	MTID      uint64
+}
+
+// ScriptResult is the wire form of one statement's outcome inside a
+// ReqScript reply — enough for a client to see what committed, what
+// aborted, and what each query returned, without dragging the
+// coordinator's full result type across the protocol.
+type ScriptResult struct {
+	// Kind echoes the coordinator's result kind (query, global update,
+	// multitransaction, command) as a short string.
+	Kind string
+	// State is the terminal global state of a synced unit ("committed",
+	// "aborted", ...); empty for plain commands.
+	State string
+	// Failed marks a statement that errored; Detail then carries the
+	// message.
+	Failed bool
+	// Detail is a one-line human-readable summary (row counts, state
+	// transitions, error text).
+	Detail string
+	// Rows and Columns carry query output for SELECT-like statements.
+	Columns []string
+	Rows    [][]string
 }
 
 // Err returns the decoded error of the response.
