@@ -10,6 +10,7 @@
 //	msql -e "USE avis national" -e "SELECT %code FROM car%"
 //	msql -autocommit-cont # continental on an autocommit-only service
 //	msql -journal mt.j -lam-journal lamj/  # durable 2PC on both sides
+//	msql -data-dir data/ -buffer-pages 256 # disk-backed service stores
 //	msql -serve 127.0.0.1:7940 -max-sessions 64 -max-concurrent 8 \
 //	     -journal mt.j -group-commit-window 2ms  # concurrent coordinator
 //
@@ -63,6 +64,9 @@ func realMain() int {
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 		showTrace   = flag.Bool("trace", false, "print the per-task timing tree of each executed script")
 
+		dataDir     = flag.String("data-dir", "", "persist every service's store on disk under this directory: committed work checkpoints to slotted heap files and survives restarts")
+		bufferPages = flag.Int("buffer-pages", 0, "buffer pool frames per disk-backed service store (0 = storage default); only meaningful with -data-dir")
+
 		serveAddr   = flag.String("serve", "", "serve the federation to concurrent remote clients on this address instead of running a shell (SIGINT shuts down)")
 		maxSessions = flag.Int("max-sessions", 0, "serve mode: connection cap; clients beyond it are answered with an overload error (0 = unlimited)")
 		maxConc     = flag.Int("max-concurrent", 0, "statements executing at once before admission queues by tenant (0 = ungated)")
@@ -75,10 +79,24 @@ func realMain() int {
 	flag.Var(&execs, "e", "MSQL statement to execute (repeatable)")
 	flag.Parse()
 
-	fed, err := demo.Build(demo.Options{ContinentalAutoCommit: *autoCont, Seed: *seed})
+	fed, err := demo.Build(demo.Options{
+		ContinentalAutoCommit: *autoCont,
+		Seed:                  *seed,
+		DataDir:               *dataDir,
+		BufferPages:           *bufferPages,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bootstrap:", err)
 		return 1
+	}
+	if *dataDir != "" {
+		// Final checkpoint on the way out; commits already checkpointed,
+		// this flushes buffer pools and closes the heap files cleanly.
+		defer func() {
+			if err := fed.CloseServers(); err != nil {
+				fmt.Fprintln(os.Stderr, "close stores:", err)
+			}
+		}()
 	}
 	if *breakerN > 0 {
 		fed.SetBreaker(lam.BreakerPolicy{Threshold: *breakerN, Cooldown: *breakerCool})

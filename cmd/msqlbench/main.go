@@ -15,6 +15,13 @@
 // latency percentiles, and the decisions-per-fsync batching ratio
 // (written as BENCH_concurrency.json; -baseline FILE fails the run if
 // throughput drops under half a recorded baseline).
+//
+// With -rows N it runs the storage benchmark: a disk-backed table of N
+// rows behind a buffer pool deliberately smaller than the table, timing
+// bulk load, a full sequential scan, and point lookups through the
+// primary-key B-tree versus the same lookups with the index disabled
+// (written as BENCH_storage.json; -baseline FILE fails the run on a >2x
+// regression in lookup or scan latency).
 package main
 
 import (
@@ -51,9 +58,25 @@ func main() {
 		clients  = flag.Int("clients", 0, "run the concurrency benchmark with this many concurrent client sessions (0 runs the experiments)")
 		opsPer   = flag.Int("ops", 50, "operations per client in -clients mode")
 		window   = flag.Duration("window", 2*time.Millisecond, "group-commit batch window in -clients mode")
-		baseline = flag.String("baseline", "", "baseline BENCH_concurrency.json: fail if throughput falls under half of it")
+		baseline = flag.String("baseline", "", "baseline JSON from a previous run of the same mode: fail on regression")
+
+		rows     = flag.Int("rows", 0, "run the storage benchmark with a disk-backed table of this many rows (0 runs the experiments)")
+		bufPages = flag.Int("buffer-pages", 128, "buffer pool frames in -rows mode; keep it smaller than the table to exercise eviction")
+		lookups  = flag.Int("lookups", 2000, "point lookups to time in -rows mode")
 	)
 	flag.Parse()
+
+	if *rows > 0 {
+		out := *jsonPath
+		if out == "BENCH_obs.json" {
+			out = "BENCH_storage.json"
+		}
+		if err := runStorage(*rows, *bufPages, *lookups, out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "storage bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clients > 0 {
 		out := *jsonPath

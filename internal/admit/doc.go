@@ -1,0 +1,17 @@
+// Package admit is the coordinator's admission-control gate: it sits
+// between client sessions and the DOL engine and decides, per statement,
+// whether the federation takes the work now, queues it briefly, or sheds
+// it with ErrOverload.
+//
+// The controller grants a bounded number of concurrent execution slots
+// (the engine, journal flusher, and site connections behind them are the
+// real capacity). Statements beyond that wait in bounded per-tenant FIFO
+// queues served round-robin, so one chatty tenant cannot starve the
+// others. A queue that is full, or a wait that exceeds MaxWait, sheds the
+// request immediately — overload is always answered with an explicit
+// error, never with unbounded queue growth or silent latency.
+//
+// Wiring: core.Federation.SetAdmission installs a controller in front of
+// every statement a session executes, and msql -serve exposes the knobs
+// as -max-concurrent, -tenant-queue, and -admit-wait (DESIGN.md §10).
+package admit

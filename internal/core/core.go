@@ -282,12 +282,36 @@ func (f *Federation) RegisterClient(key string, c lam.Client) {
 // AddLocalService creates an in-process LDBMS, registers its LAM client
 // under the service name, and returns the server for bootstrapping data.
 func (f *Federation) AddLocalService(name string, profile ldbms.Profile, seed int64) *ldbms.Server {
-	srv := ldbms.NewServer(name, profile, seed)
-	f.RegisterClient(name, lam.NewLocal(srv))
+	return f.AddLocalServer(ldbms.NewServer(name, profile, seed))
+}
+
+// AddLocalServer registers a prebuilt in-process LDBMS — typically one
+// whose store is disk-backed — under its service name.
+func (f *Federation) AddLocalServer(srv *ldbms.Server) *ldbms.Server {
+	f.RegisterClient(srv.Name(), lam.NewLocal(srv))
 	f.mu.Lock()
-	f.servers[name] = srv
+	f.servers[srv.Name()] = srv
 	f.mu.Unlock()
 	return srv
+}
+
+// CloseServers checkpoints and closes every local server's store.
+// Memory-backed servers are no-ops; disk-backed ones flush their buffer
+// pools and catalogs so a later process can reopen the data directory.
+func (f *Federation) CloseServers() error {
+	f.mu.Lock()
+	servers := make([]*ldbms.Server, 0, len(f.servers))
+	for _, s := range f.servers {
+		servers = append(servers, s)
+	}
+	f.mu.Unlock()
+	var first error
+	for _, s := range servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Server returns a previously added local server.
@@ -712,5 +736,5 @@ func (f *Federation) assembleMultitable(res *Result, meta *translate.Meta, out *
 }
 
 func toRelColumn(c sqlparser.ColumnDef) relstore.Column {
-	return relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width}
+	return relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width, Key: c.Key}
 }

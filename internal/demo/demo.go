@@ -7,9 +7,11 @@ package demo
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"msql/internal/core"
 	"msql/internal/ldbms"
+	"msql/internal/relstore"
 )
 
 // Options configures the demo federation.
@@ -23,6 +25,14 @@ type Options struct {
 	// zero means the paper's small example data.
 	FlightRows int
 	SeatRows   int
+	// DataDir persists every service's store on disk under
+	// DataDir/<service>. A service whose database already exists there
+	// is reopened as-is instead of being re-bootstrapped, so committed
+	// data survives restarts. Empty keeps the stores in memory.
+	DataDir string
+	// BufferPages caps each disk-backed store's buffer pool (0 uses
+	// storage.DefaultPoolPages). Ignored without DataDir.
+	BufferPages int
 }
 
 // serviceSpec declares one LDBS of the federation.
@@ -98,11 +108,32 @@ func specs(o Options) []serviceSpec {
 	}
 }
 
-// Build constructs the demo federation.
+// Build constructs the demo federation. With Options.DataDir set, each
+// service's store lives on disk and a database that survived an earlier
+// run is adopted without re-running its bootstrap DDL.
 func Build(o Options) (*core.Federation, error) {
 	f := core.New()
 	for _, sp := range specs(o) {
-		srv := f.AddLocalService(sp.Service, sp.Profile(), o.Seed)
+		var srv *ldbms.Server
+		reopened := false
+		if o.DataDir != "" {
+			st, err := relstore.Open(relstore.Options{
+				Dir:       filepath.Join(o.DataDir, sp.Service),
+				PoolPages: o.BufferPages,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("demo: open %s store: %w", sp.Service, err)
+			}
+			srv = f.AddLocalServer(ldbms.NewServerWith(sp.Service, sp.Profile(), o.Seed, st))
+			if _, err := st.Database(sp.DB); err == nil {
+				reopened = true
+			}
+		} else {
+			srv = f.AddLocalService(sp.Service, sp.Profile(), o.Seed)
+		}
+		if reopened {
+			continue
+		}
 		if err := srv.CreateDatabase(sp.DB); err != nil {
 			return nil, err
 		}

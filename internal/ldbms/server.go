@@ -41,12 +41,43 @@ type Server struct {
 // NewServer creates a server with the given capability profile. seed
 // drives probabilistic fault injection.
 func NewServer(name string, profile Profile, seed int64) *Server {
-	return &Server{
+	return NewServerWith(name, profile, seed, relstore.NewStore())
+}
+
+// NewServerWith creates a server over an existing store — typically one
+// opened with relstore.Options{Dir: ...} for disk persistence. When the
+// store is disk-backed, every commit checkpoints it, and databases that
+// survived a restart are adopted: the first (alphabetically) becomes the
+// NOCONNECT default database.
+func NewServerWith(name string, profile Profile, seed int64, store *relstore.Store) *Server {
+	s := &Server{
 		name:    name,
 		profile: profile.Clone(),
-		store:   relstore.NewStore(),
+		store:   store,
 		faults:  NewFaultInjector(seed),
 	}
+	if names := store.DatabaseNames(); len(names) > 0 {
+		s.defaultDB = names[0]
+	}
+	return s
+}
+
+// checkpoint makes committed state durable on disk-backed stores; it is
+// a no-op for memory-backed ones.
+func (s *Server) checkpoint() error {
+	if s.store.Dir() == "" {
+		return nil
+	}
+	return s.store.Checkpoint()
+}
+
+// Close checkpoints and releases a disk-backed store. Memory-backed
+// servers have nothing to release.
+func (s *Server) Close() error {
+	if s.store.Dir() == "" {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // Name returns the service name.

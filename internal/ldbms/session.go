@@ -155,6 +155,9 @@ func (s *Session) execStmt(sql string, stmt sqlparser.Statement) (*sqlengine.Res
 		s.state = StateCommitted
 		s.redo = nil
 		s.srv.bump(func(st *Stats) { st.Commits++; st.SilentCommits++ })
+		if err := s.srv.checkpoint(); err != nil {
+			return nil, err
+		}
 	} else if class != ClassSelect {
 		s.redo = append(s.redo, sql)
 	}
@@ -206,7 +209,7 @@ func (s *Session) Commit() error {
 	s.state = StateCommitted
 	s.redo = nil
 	s.srv.bump(func(st *Stats) { st.Commits++ })
-	return nil
+	return s.srv.checkpoint()
 }
 
 // Rollback aborts the open transaction.

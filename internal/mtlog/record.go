@@ -1,29 +1,3 @@
-// Package mtlog implements the coordinator's write-ahead
-// multitransaction journal: an append-only, checksummed log of
-// multitransaction execution that makes the paper's flexible-transaction
-// guarantees (vital sets, compensation, acceptable termination states)
-// survive a coordinator crash. The journal records, per
-// multitransaction: a begin record carrying the plan's task topology
-// (which tasks are vital, which are compensations and their SQL), a
-// prepared record for every participant that entered the
-// prepared-to-commit window (with the LAM address and server-side
-// session id needed to re-attach), the global commit/rollback decision
-// (forced to stable storage before any commit is delivered — the
-// write-ahead rule), per-task terminal outcomes, and an end record once
-// the multitransaction is fully terminal.
-//
-// Record framing on disk:
-//
-//	+-------+------+----------+----------+-----------------+
-//	| magic | type | len (4B) | crc (4B) | payload (JSON)  |
-//	+-------+------+----------+----------+-----------------+
-//
-// The CRC32 (IEEE) covers the type byte, the length field, and the
-// payload, so a bit flip anywhere in a record is detected. The decoder
-// never trusts the tail of the file: a truncated record, a checksum
-// mismatch, or trailing garbage ends the scan at the last valid record
-// (the "valid prefix"), which is exactly the recovery semantics a
-// crashed append needs.
 package mtlog
 
 import (

@@ -39,10 +39,12 @@ func (s *Store) Save(w io.Writer) error {
 		for _, tn := range d.TableNames() {
 			t := d.tables[tn]
 			ts := tableSnapshot{Name: t.Name, Columns: append([]Column(nil), t.Columns...)}
-			for _, r := range t.rows {
-				if r != nil {
-					ts.Rows = append(ts.Rows, r.Clone())
-				}
+			t.ForEach(func(idx int, row Row) bool {
+				ts.Rows = append(ts.Rows, row)
+				return true
+			})
+			if t.ioErr != nil {
+				return t.ioErr
 			}
 			ds.Tables = append(ds.Tables, ts)
 		}
@@ -63,6 +65,12 @@ func (s *Store) Load(r io.Reader) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Release the heaps of whatever the snapshot replaces.
+	for _, d := range s.databases {
+		for _, t := range d.tables {
+			t.destroy(s)
+		}
+	}
 	s.databases = make(map[string]*Database, len(snap.Databases))
 	for _, ds := range snap.Databases {
 		d := &Database{
@@ -71,9 +79,15 @@ func (s *Store) Load(r io.Reader) error {
 			views:  make(map[string]*View, len(ds.Views)),
 		}
 		for _, ts := range ds.Tables {
-			t := &Table{Name: ts.Name, Columns: ts.Columns}
-			t.rows = make([]Row, len(ts.Rows))
-			copy(t.rows, ts.Rows)
+			t, err := s.newTable(ts.Name, ts.Columns)
+			if err != nil {
+				return fmt.Errorf("relstore: load snapshot: %w", err)
+			}
+			for _, r := range ts.Rows {
+				if _, err := t.insertRow(r, false); err != nil {
+					return fmt.Errorf("relstore: load snapshot: %w", err)
+				}
+			}
 			d.tables[ts.Name] = t
 		}
 		for i := range ds.Views {

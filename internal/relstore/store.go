@@ -1,8 +1,15 @@
-// Package relstore implements the in-memory relational storage layer that
-// backs each simulated local DBMS: named databases holding tables and view
+// Package relstore implements the relational storage layer that backs
+// each simulated local DBMS: named databases holding tables and view
 // definitions, with undo-logged transactions, a visible prepared-to-commit
 // state, and table-granularity two-phase locking with timeout-based
 // deadlock resolution.
+//
+// Table data lives in internal/storage heap files behind a per-store
+// buffer pool: slotted 4 KiB pages, optionally persisted to a data
+// directory, with a B-tree index over each table's declared key columns.
+// The transaction layer addresses rows by stable index — the position in
+// the table's RID table — so undo records survive any page-level
+// relocation the heap performs underneath.
 //
 // The package is deliberately ignorant of SQL; internal/sqlengine drives it
 // through Tx methods. Keeping the storage layer independent lets the LDBMS
@@ -11,12 +18,17 @@
 package relstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"msql/internal/sqlval"
+	"msql/internal/storage"
 )
 
 // Common storage errors.
@@ -31,13 +43,16 @@ var (
 	ErrTxDone        = errors.New("relstore: transaction is not active")
 	ErrNotPrepared   = errors.New("relstore: transaction is not prepared")
 	ErrWidthExceeded = errors.New("relstore: value exceeds declared column width")
+	ErrDuplicateKey  = errors.New("relstore: duplicate primary key")
+	ErrNullKey       = errors.New("relstore: NULL in primary key column")
 )
 
 // Column describes one table column.
 type Column struct {
 	Name  string
 	Type  sqlval.Kind
-	Width int // CHAR(n) width; 0 = unbounded
+	Width int  // CHAR(n) width; 0 = unbounded
+	Key   bool // part of the primary key: indexed, unique, NOT NULL
 }
 
 // Row is one tuple.
@@ -50,15 +65,64 @@ func (r Row) Clone() Row {
 	return c
 }
 
-// Table holds a schema and rows. Deleted rows become nil tombstones so
-// that undo records can address rows by stable index within a
-// transaction's lifetime; tombstones are compacted when no transaction
-// holds the table.
+// Table holds a schema and rows. Row data lives on heap pages; the table
+// keeps one RID per row in insertion order, and that position — the
+// stable index — is how transactions address rows. Deleted rows become
+// NilRID tombstones so undo records stay valid within a transaction's
+// lifetime; tombstones are compacted when the deleting transaction
+// finishes, while it still holds the table exclusively.
 type Table struct {
 	Name    string
 	Columns []Column
-	rows    []Row
+	keys    []int // Columns positions with Key set, declaration order
+	heap    *storage.HeapFile
+	backing storage.Backing
+	file    string // file name under the store dir; "" when in memory
+	rids    []storage.RID
 	dead    int
+	index   *storage.BTree // non-nil iff len(keys) > 0
+	ioErr   error          // first storage fault, sticky
+}
+
+func keyColumns(cols []Column) []int {
+	var keys []int
+	for i, c := range cols {
+		if c.Key {
+			keys = append(keys, i)
+		}
+	}
+	return keys
+}
+
+// newTable creates an empty table with a fresh heap in s's pool.
+func (s *Store) newTable(name string, cols []Column) (*Table, error) {
+	t := &Table{
+		Name:    name,
+		Columns: append([]Column(nil), cols...),
+	}
+	t.keys = keyColumns(t.Columns)
+	if len(t.keys) > 0 {
+		t.index = storage.NewBTree()
+	}
+	b, file, err := s.newBacking(name)
+	if err != nil {
+		return nil, err
+	}
+	t.backing = b
+	t.file = file
+	t.heap = storage.NewHeapFile(s.pool, b)
+	return t, nil
+}
+
+// destroy releases the table's heap: pool frames, backing, and the data
+// file if persistent. Called when a create is rolled back or a drop
+// commits.
+func (t *Table) destroy(s *Store) {
+	t.heap.Drop()
+	t.backing.Close()
+	if t.file != "" {
+		os.Remove(filepath.Join(s.dir, t.file))
+	}
 }
 
 // ColumnIndex returns the index of the named column, or -1.
@@ -72,20 +136,259 @@ func (t *Table) ColumnIndex(name string) int {
 }
 
 // RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return len(t.rows) - t.dead }
+func (t *Table) RowCount() int { return len(t.rids) - t.dead }
 
+// KeyColumns returns the positions of the primary-key columns, in
+// declaration order, or nil when the table has no declared key.
+func (t *Table) KeyColumns() []int { return append([]int(nil), t.keys...) }
+
+// Err returns the first storage fault the table hit, if any. Reads that
+// fail (a torn page surfacing at runtime, an I/O error on a persistent
+// heap) latch here rather than panicking mid-scan.
+func (t *Table) Err() error { return t.ioErr }
+
+func (t *Table) fault(err error) {
+	if t.ioErr == nil {
+		t.ioErr = fmt.Errorf("relstore: table %s: %w", t.Name, err)
+	}
+}
+
+// keyOf encodes row's primary-key columns in index order.
+func (t *Table) keyOf(row Row) []byte {
+	vals := make([]sqlval.Value, len(t.keys))
+	for i, ci := range t.keys {
+		vals[i] = row[ci]
+	}
+	return storage.EncodeKey(nil, vals)
+}
+
+// rowAt reads and decodes the row at a stable index; nil for tombstones
+// and out-of-range indexes.
+func (t *Table) rowAt(idx int) (Row, error) {
+	if idx < 0 || idx >= len(t.rids) || t.rids[idx].IsNil() {
+		return nil, nil
+	}
+	data, err := t.heap.Read(t.rids[idx])
+	if err != nil {
+		return nil, err
+	}
+	vals, err := storage.DecodeRow(data)
+	if err != nil {
+		return nil, err
+	}
+	return Row(vals), nil
+}
+
+// RowAt returns the row at a stable index, or nil when deleted.
+func (t *Table) RowAt(idx int) Row {
+	row, err := t.rowAt(idx)
+	if err != nil {
+		t.fault(err)
+		return nil
+	}
+	return row
+}
+
+// ForEach iterates live rows with their stable indexes, stopping when fn
+// returns false. The caller must hold a lock on the table via a Tx.
+func (t *Table) ForEach(fn func(idx int, row Row) bool) {
+	for i, rid := range t.rids {
+		if rid.IsNil() {
+			continue
+		}
+		data, err := t.heap.Read(rid)
+		if err != nil {
+			t.fault(err)
+			return
+		}
+		vals, err := storage.DecodeRow(data)
+		if err != nil {
+			t.fault(err)
+			return
+		}
+		if !fn(i, Row(vals)) {
+			return
+		}
+	}
+}
+
+// TableIter is a pull-based cursor over a table's live rows in stable-
+// index order, for volcano-style executors. The caller must hold a lock
+// on the table via a Tx for the cursor's lifetime.
+type TableIter struct {
+	t   *Table
+	pos int
+}
+
+// Iter returns a cursor positioned before the first row.
+func (t *Table) Iter() *TableIter { return &TableIter{t: t} }
+
+// Next returns the next live row and its stable index; ok is false at
+// the end of the table (or on a storage fault, which latches in Err).
+func (it *TableIter) Next() (idx int, row Row, ok bool) {
+	for it.pos < len(it.t.rids) {
+		i := it.pos
+		it.pos++
+		if it.t.rids[i].IsNil() {
+			continue
+		}
+		r, err := it.t.rowAt(i)
+		if err != nil {
+			it.t.fault(err)
+			return 0, nil, false
+		}
+		return i, r, true
+	}
+	return 0, nil, false
+}
+
+// Reset repositions the cursor before the first row.
+func (it *TableIter) Reset() { it.pos = 0 }
+
+// LookupKey probes the primary-key index with the given key values and
+// returns the matching row's stable index. ok is false when the table
+// has no index, the key shape is wrong, or no row matches.
+func (t *Table) LookupKey(vals []sqlval.Value) (int, bool) {
+	if t.index == nil || len(vals) != len(t.keys) {
+		return -1, false
+	}
+	v, ok := t.index.Get(storage.EncodeKey(nil, vals))
+	if !ok {
+		return -1, false
+	}
+	return int(v), true
+}
+
+// insertRow places a validated, normalized row on the heap and returns
+// its stable index. checkUnique is false only on undo paths, which
+// restore states that were valid when recorded.
+func (t *Table) insertRow(row Row, checkUnique bool) (int, error) {
+	var key []byte
+	if t.index != nil {
+		key = t.keyOf(row)
+		if checkUnique {
+			if _, dup := t.index.Get(key); dup {
+				return 0, fmt.Errorf("%w in %s", ErrDuplicateKey, t.Name)
+			}
+		}
+	}
+	rid, err := t.heap.Insert(storage.EncodeRow(nil, row))
+	if err != nil {
+		return 0, err
+	}
+	idx := len(t.rids)
+	t.rids = append(t.rids, rid)
+	if t.index != nil {
+		t.index.Insert(key, int64(idx))
+	}
+	return idx, nil
+}
+
+// updateRow overwrites the row at a stable index.
+func (t *Table) updateRow(idx int, row Row, checkUnique bool) error {
+	old, err := t.rowAt(idx)
+	if err != nil {
+		return err
+	}
+	if old == nil {
+		return fmt.Errorf("relstore: update of missing row %d in %s", idx, t.Name)
+	}
+	var okey, nkey []byte
+	if t.index != nil {
+		okey, nkey = t.keyOf(old), t.keyOf(row)
+		if checkUnique && !bytes.Equal(okey, nkey) {
+			if _, dup := t.index.Get(nkey); dup {
+				return fmt.Errorf("%w in %s", ErrDuplicateKey, t.Name)
+			}
+		}
+	}
+	nrid, err := t.heap.Update(t.rids[idx], storage.EncodeRow(nil, row))
+	if err != nil {
+		return err
+	}
+	t.rids[idx] = nrid
+	if t.index != nil && !bytes.Equal(okey, nkey) {
+		t.index.Delete(okey)
+		t.index.Insert(nkey, int64(idx))
+	}
+	return nil
+}
+
+// deleteRow tombstones the row at a stable index and returns its prior
+// contents for the undo log.
+func (t *Table) deleteRow(idx int) (Row, error) {
+	old, err := t.rowAt(idx)
+	if err != nil {
+		return nil, err
+	}
+	if old == nil {
+		return nil, fmt.Errorf("relstore: delete of missing row %d in %s", idx, t.Name)
+	}
+	if err := t.heap.Delete(t.rids[idx]); err != nil {
+		return nil, err
+	}
+	t.rids[idx] = storage.NilRID
+	t.dead++
+	if t.index != nil {
+		t.index.Delete(t.keyOf(old))
+	}
+	return old, nil
+}
+
+// restoreRow undoes a delete: the row returns to the heap under its old
+// stable index (its page placement may differ; nothing observes that).
+func (t *Table) restoreRow(idx int, row Row) error {
+	if idx < 0 || idx >= len(t.rids) || !t.rids[idx].IsNil() {
+		return nil
+	}
+	rid, err := t.heap.Insert(storage.EncodeRow(nil, row))
+	if err != nil {
+		return err
+	}
+	t.rids[idx] = rid
+	t.dead--
+	if t.index != nil {
+		t.index.Insert(t.keyOf(row), int64(idx))
+	}
+	return nil
+}
+
+// compact squeezes tombstones out of the RID table, renumbering stable
+// indexes. The caller must hold the table exclusively: stable indexes
+// handed to other transactions die here. Index entries are remapped in
+// place — keys do not change, only the positions they point at.
 func (t *Table) compact() {
 	if t.dead == 0 {
 		return
 	}
-	live := t.rows[:0]
-	for _, r := range t.rows {
-		if r != nil {
-			live = append(live, r)
+	remap := make([]int64, len(t.rids))
+	live := t.rids[:0]
+	for i, rid := range t.rids {
+		if rid.IsNil() {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int64(len(live))
+		live = append(live, rid)
+	}
+	t.rids = live
+	t.dead = 0
+	if t.index != nil {
+		type kv struct {
+			k []byte
+			v int64
+		}
+		var ents []kv
+		t.index.Ascend(nil, func(k []byte, v int64) bool {
+			if remap[v] != v {
+				ents = append(ents, kv{k, remap[v]})
+			}
+			return true
+		})
+		for _, e := range ents {
+			t.index.Insert(e.k, e.v)
 		}
 	}
-	t.rows = live
-	t.dead = 0
 }
 
 // View is a stored view definition. The definition is kept as SQL text so
@@ -140,20 +443,43 @@ func (d *Database) View(name string) (*View, error) {
 	return v, nil
 }
 
-// Store is the storage root of one simulated DBMS server.
+// Store is the storage root of one simulated DBMS server: databases over
+// a shared buffer pool, optionally persisted to a data directory.
 type Store struct {
 	mu        sync.RWMutex
 	databases map[string]*Database
 	locks     *lockManager
 	nextTx    int64
+	pool      *storage.Pool
+	dir       string // "" = memory-only
+	nextFile  int64  // atomic; names heap files uniquely
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store with the default pool size.
 func NewStore() *Store {
-	return &Store{
-		databases: make(map[string]*Database),
-		locks:     newLockManager(),
+	s, _ := Open(Options{})
+	return s
+}
+
+// Pool returns the store's buffer pool, for stats surfaces.
+func (s *Store) Pool() *storage.Pool { return s.pool }
+
+// Dir returns the data directory, or "" for an in-memory store.
+func (s *Store) Dir() string { return s.dir }
+
+// newBacking creates the page store for one new table: a file under the
+// data directory, or memory.
+func (s *Store) newBacking(table string) (storage.Backing, string, error) {
+	if s.dir == "" {
+		return storage.NewMemBacking(), "", nil
 	}
+	n := atomic.AddInt64(&s.nextFile, 1)
+	file := fmt.Sprintf("t%06d.heap", n)
+	fb, err := storage.OpenFileBacking(filepath.Join(s.dir, file))
+	if err != nil {
+		return nil, "", err
+	}
+	return fb, file, nil
 }
 
 // CreateDatabase adds a database outside any transaction (bootstrap use).
@@ -171,14 +497,20 @@ func (s *Store) CreateDatabase(name string) error {
 	return nil
 }
 
-// DropDatabase removes a database outside any transaction.
+// DropDatabase removes a database outside any transaction, releasing the
+// heaps of its tables.
 func (s *Store) DropDatabase(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.databases[name]; !ok {
+	d, ok := s.databases[name]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoDatabase, name)
 	}
 	delete(s.databases, name)
+	s.mu.Unlock()
+	for _, t := range d.tables {
+		t.destroy(s)
+	}
 	return nil
 }
 
@@ -205,8 +537,8 @@ func (s *Store) DatabaseNames() []string {
 	return names
 }
 
-// Clone deep-copies the store's data (not its lock or transaction state).
-// Benchmarks use it to reset working sets cheaply.
+// Clone deep-copies the store's data (not its lock or transaction state)
+// into a fresh in-memory store. Benchmarks use it to reset working sets.
 func (s *Store) Clone() *Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -214,12 +546,14 @@ func (s *Store) Clone() *Store {
 	for dn, d := range s.databases {
 		nd := &Database{Name: dn, tables: make(map[string]*Table), views: make(map[string]*View)}
 		for tn, t := range d.tables {
-			nt := &Table{Name: tn, Columns: append([]Column(nil), t.Columns...)}
-			for _, r := range t.rows {
-				if r != nil {
-					nt.rows = append(nt.rows, r.Clone())
-				}
+			nt, err := c.newTable(tn, t.Columns)
+			if err != nil {
+				continue // memory backing cannot fail
 			}
+			t.ForEach(func(idx int, row Row) bool {
+				_, err := nt.insertRow(row.Clone(), false)
+				return err == nil
+			})
 			nd.tables[tn] = nt
 		}
 		for vn, v := range d.views {

@@ -178,28 +178,8 @@ func (t *Tx) tableForWriteLocked(db, table string) (*Table, error) {
 	return tbl, nil
 }
 
-// ForEach iterates live rows with their stable indexes, stopping when fn
-// returns false. The caller must hold a lock on the table via a Tx.
-func (t *Table) ForEach(fn func(idx int, row Row) bool) {
-	for i, r := range t.rows {
-		if r == nil {
-			continue
-		}
-		if !fn(i, r) {
-			return
-		}
-	}
-}
-
-// RowAt returns the row at a stable index, or nil when deleted.
-func (t *Table) RowAt(idx int) Row {
-	if idx < 0 || idx >= len(t.rows) {
-		return nil
-	}
-	return t.rows[idx]
-}
-
-// validate checks arity, kinds and CHAR widths against the schema.
+// validate checks arity, kinds, CHAR widths and key nullability against
+// the schema.
 func (t *Table) validate(row Row) error {
 	if len(row) != len(t.Columns) {
 		return fmt.Errorf("relstore: row has %d values, table %s has %d columns", len(row), t.Name, len(t.Columns))
@@ -207,6 +187,9 @@ func (t *Table) validate(row Row) error {
 	for i, v := range row {
 		c := t.Columns[i]
 		if v.IsNull() {
+			if c.Key {
+				return fmt.Errorf("%w: %s.%s", ErrNullKey, t.Name, c.Name)
+			}
 			continue
 		}
 		if v.K != c.Type {
@@ -247,8 +230,11 @@ func (t *Tx) Insert(db, table string, row Row) error {
 	if err := tbl.validate(row); err != nil {
 		return err
 	}
-	tbl.rows = append(tbl.rows, normalize(tbl, row))
-	t.undo = append(t.undo, undoRec{kind: undoInsert, db: db, name: table, idx: len(tbl.rows) - 1})
+	idx, err := tbl.insertRow(normalize(tbl, row), true)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRec{kind: undoInsert, db: db, name: table, idx: idx})
 	return nil
 }
 
@@ -271,8 +257,10 @@ func (t *Tx) Update(db, table string, idx int, row Row) error {
 	if err := tbl.validate(row); err != nil {
 		return err
 	}
+	if err := tbl.updateRow(idx, normalize(tbl, row), true); err != nil {
+		return err
+	}
 	t.undo = append(t.undo, undoRec{kind: undoUpdate, db: db, name: table, idx: idx, row: old})
-	tbl.rows[idx] = normalize(tbl, row)
 	return nil
 }
 
@@ -287,13 +275,11 @@ func (t *Tx) Delete(db, table string, idx int) error {
 	if err != nil {
 		return err
 	}
-	old := tbl.RowAt(idx)
-	if old == nil {
-		return fmt.Errorf("relstore: delete of missing row %d in %s.%s", idx, db, table)
+	old, err := tbl.deleteRow(idx)
+	if err != nil {
+		return err
 	}
 	t.undo = append(t.undo, undoRec{kind: undoDelete, db: db, name: table, idx: idx, row: old})
-	tbl.rows[idx] = nil
-	tbl.dead++
 	return nil
 }
 
@@ -314,7 +300,11 @@ func (t *Tx) CreateTable(db, name string, cols []Column) error {
 	if _, ok := d.tables[name]; ok {
 		return fmt.Errorf("%w: %s.%s", ErrTableExists, db, name)
 	}
-	d.tables[name] = &Table{Name: name, Columns: append([]Column(nil), cols...)}
+	tbl, err := t.store.newTable(name, cols)
+	if err != nil {
+		return err
+	}
+	d.tables[name] = tbl
 	t.undo = append(t.undo, undoRec{kind: undoCreateTable, db: db, name: name})
 	return nil
 }
@@ -452,6 +442,19 @@ func (t *Tx) Commit() error {
 		return fmt.Errorf("%w (state %s)", ErrTxDone, t.state)
 	}
 	t.state = TxCommitted
+	// A committed drop is the point of no return for the dropped object's
+	// heap pages and data files: release them now that no rollback can
+	// resurrect the object.
+	for _, u := range t.undo {
+		switch u.kind {
+		case undoDropTable:
+			u.table.destroy(t.store)
+		case undoDropDB:
+			for _, tbl := range u.dbObj.tables {
+				tbl.destroy(t.store)
+			}
+		}
+	}
 	t.undo = nil
 	t.finishLocked()
 	return nil
@@ -478,26 +481,33 @@ func (t *Tx) applyUndo(u undoRec) {
 	case undoInsert:
 		if d, err := t.store.Database(u.db); err == nil {
 			if tbl, ok := d.tables[u.name]; ok && tbl.RowAt(u.idx) != nil {
-				tbl.rows[u.idx] = nil
-				tbl.dead++
+				if _, err := tbl.deleteRow(u.idx); err != nil {
+					tbl.fault(err)
+				}
 			}
 		}
 	case undoDelete:
 		if d, err := t.store.Database(u.db); err == nil {
-			if tbl, ok := d.tables[u.name]; ok && u.idx < len(tbl.rows) && tbl.rows[u.idx] == nil {
-				tbl.rows[u.idx] = u.row
-				tbl.dead--
+			if tbl, ok := d.tables[u.name]; ok {
+				if err := tbl.restoreRow(u.idx, u.row); err != nil {
+					tbl.fault(err)
+				}
 			}
 		}
 	case undoUpdate:
 		if d, err := t.store.Database(u.db); err == nil {
 			if tbl, ok := d.tables[u.name]; ok && tbl.RowAt(u.idx) != nil {
-				tbl.rows[u.idx] = u.row
+				if err := tbl.updateRow(u.idx, u.row, false); err != nil {
+					tbl.fault(err)
+				}
 			}
 		}
 	case undoCreateTable:
 		if d, err := t.store.Database(u.db); err == nil {
-			delete(d.tables, u.name)
+			if tbl, ok := d.tables[u.name]; ok {
+				tbl.destroy(t.store)
+				delete(d.tables, u.name)
+			}
 		}
 	case undoDropTable:
 		if d, err := t.store.Database(u.db); err == nil {

@@ -64,7 +64,7 @@ func Execute(tx *relstore.Tx, db string, stmt sqlparser.Statement) (*Result, err
 		tdb, tname := splitName(db, s.Table)
 		cols := make([]relstore.Column, len(s.Columns))
 		for i, c := range s.Columns {
-			cols[i] = relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width}
+			cols[i] = relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width, Key: c.Key}
 		}
 		if err := tx.CreateTable(tdb, tname, cols); err != nil {
 			return nil, err

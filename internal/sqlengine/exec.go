@@ -1,0 +1,266 @@
+package sqlengine
+
+// Volcano-style executor: each FROM source becomes a levelNode — an
+// iterator producing that source's candidate rows one at a time into
+// e.current — and runLoops drives the nodes as nested loops, emitting a
+// joined row whenever every level holds one. Base tables are pulled
+// page-at-a-time through the storage layer's buffer pool instead of
+// being materialized up front, so working-set size is bounded by the
+// pool, not the table.
+
+import (
+	"msql/internal/relstore"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// LegacyMaterialize reverts bindSource to materializing base tables into
+// row slices before execution, disabling index probes, as the engine did
+// before the iterator executor. It exists for equivalence testing and
+// ablation benchmarks; it is not synchronized.
+var LegacyMaterialize = false
+
+// levelNode produces candidate rows for one loop level. reset repositions
+// it for the current bindings of earlier levels; next advances to the
+// next row passing this level's filters, publishing it in e.current, and
+// reports false when the level is exhausted (leaving e.current nil so
+// correlated lookups see NULL).
+type levelNode interface {
+	reset() error
+	next() (bool, error)
+}
+
+// runLoops drives the node chain as nested loops. emit is called with
+// e.current fully populated; returning false stops the scan early (LIMIT).
+func runLoops(e *env, nodes []levelNode, emit func() (bool, error)) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	i := 0
+	if err := nodes[0].reset(); err != nil {
+		return err
+	}
+	for i >= 0 {
+		ok, err := nodes[i].next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			i--
+			continue
+		}
+		if i == len(nodes)-1 {
+			cont, err := emit()
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+			continue
+		}
+		i++
+		if err := nodes[i].reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildNodes picks the access path for every level: index probe when the
+// planner pinned all key columns, hash join for an equality across
+// levels, sequential scan otherwise.
+func buildNodes(e *env, plan *joinPlan) []levelNode {
+	nodes := make([]levelNode, len(e.sources))
+	for i := range e.sources {
+		filters := plan.level[i]
+		switch {
+		case plan.probe[i] != nil:
+			nodes[i] = &probeNode{
+				e: e, si: i, probe: plan.probe[i], filters: filters,
+				fallback: &scanNode{e: e, si: i, filters: filters},
+			}
+		case plan.hash[i] != nil:
+			nodes[i] = &hashNode{e: e, si: i, h: plan.hash[i], filters: filters}
+		default:
+			nodes[i] = &scanNode{e: e, si: i, filters: filters}
+		}
+	}
+	return nodes
+}
+
+// passFilters evaluates this level's pushed-down conjuncts against the
+// current bindings.
+func passFilters(e *env, filters []sqlparser.Expr) (bool, error) {
+	for _, c := range filters {
+		v, err := evalExpr(e, c)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// scanNode is a sequential scan: over the table's heap via a pull cursor
+// for base tables, or over materialized rows for views and legacy mode.
+type scanNode struct {
+	e       *env
+	si      int
+	filters []sqlparser.Expr
+	it      *relstore.TableIter
+	pos     int
+}
+
+func (n *scanNode) reset() error {
+	if src := n.e.sources[n.si]; src.tbl != nil {
+		if n.it == nil {
+			n.it = src.tbl.Iter()
+		} else {
+			n.it.Reset()
+		}
+	}
+	n.pos = 0
+	return nil
+}
+
+func (n *scanNode) next() (bool, error) {
+	src := n.e.sources[n.si]
+	for {
+		var row relstore.Row
+		if n.it != nil {
+			_, r, ok := n.it.Next()
+			if !ok {
+				n.e.current[n.si] = nil
+				return false, src.tbl.Err()
+			}
+			row = r
+		} else {
+			if n.pos >= len(src.rows) {
+				n.e.current[n.si] = nil
+				return false, nil
+			}
+			row = src.rows[n.pos]
+			n.pos++
+		}
+		n.e.current[n.si] = row
+		ok, err := passFilters(n.e, n.filters)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+}
+
+// hashNode probes a hash table built over its source, bucketed by the
+// join key, instead of scanning every row per outer binding.
+type hashNode struct {
+	e       *env
+	si      int
+	h       *hashJoin
+	filters []sqlparser.Expr
+	bucket  []relstore.Row
+	pos     int
+}
+
+func (n *hashNode) reset() error {
+	if err := n.h.build(n.e, n.si); err != nil {
+		return err
+	}
+	key, err := evalExpr(n.e, n.h.probeExpr)
+	if err != nil {
+		return err
+	}
+	n.bucket = nil
+	n.pos = 0
+	if !key.IsNull() { // NULL never joins
+		n.bucket = n.h.table[key.GroupKey()]
+	}
+	return nil
+}
+
+func (n *hashNode) next() (bool, error) {
+	for n.pos < len(n.bucket) {
+		row := n.bucket[n.pos]
+		n.pos++
+		n.e.current[n.si] = row
+		ok, err := passFilters(n.e, n.filters)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	n.e.current[n.si] = nil
+	return false, nil
+}
+
+// probeNode answers a level with a single primary-key index lookup: the
+// planner pinned every key column to an expression over earlier levels,
+// so at most one row can match. The pinning conjuncts remain in filters,
+// which keeps the probe a pure access path — it can only skip rows the
+// filters would reject anyway — and lets a probe value that has no exact
+// representation in the key's type fall back to a filtered scan.
+type probeNode struct {
+	e        *env
+	si       int
+	probe    *indexProbe
+	filters  []sqlparser.Expr
+	fallback *scanNode
+
+	scanning bool // coercion failed; fallback scan took over for this reset
+	row      relstore.Row
+}
+
+func (n *probeNode) reset() error {
+	n.scanning = false
+	n.row = nil
+	src := n.e.sources[n.si]
+	vals := make([]sqlval.Value, len(n.probe.exprs))
+	for i, x := range n.probe.exprs {
+		v, err := evalExpr(n.e, x)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil // NULL never equals a key: no match
+		}
+		cv, err := sqlval.CoerceTo(v, src.cols[n.probe.keyCols[i]].Type)
+		if err != nil {
+			n.scanning = true
+			return n.fallback.reset()
+		}
+		vals[i] = cv
+	}
+	if idx, ok := src.tbl.LookupKey(vals); ok {
+		n.row = src.tbl.RowAt(idx)
+	}
+	return src.tbl.Err()
+}
+
+func (n *probeNode) next() (bool, error) {
+	if n.scanning {
+		return n.fallback.next()
+	}
+	row := n.row
+	if row == nil {
+		n.e.current[n.si] = nil
+		return false, nil
+	}
+	n.row = nil
+	n.e.current[n.si] = row
+	ok, err := passFilters(n.e, n.filters)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		n.e.current[n.si] = nil
+		return false, nil
+	}
+	return true, nil
+}

@@ -6,12 +6,23 @@ import (
 )
 
 // joinPlan distributes WHERE conjuncts over the join's loop levels and
-// records hash-join opportunities. Conjuncts that cannot be classified
-// safely (subqueries, unresolvable references) stay at the last level,
-// where every source is bound.
+// records hash-join and index-probe opportunities. Conjuncts that cannot
+// be classified safely (subqueries, unresolvable references) stay at the
+// last level, where every source is bound.
 type joinPlan struct {
 	level map[int][]sqlparser.Expr
 	hash  map[int]*hashJoin
+	probe map[int]*indexProbe
+}
+
+// indexProbe answers a loop level with one primary-key lookup instead of
+// a scan: every key column of the level's base table is pinned by a pure
+// equality whose other side references only earlier levels or constants.
+// The pinning conjuncts stay in plan.level as filters, so the probe is
+// purely an access path.
+type indexProbe struct {
+	keyCols []int            // key column positions, in KeyColumns order
+	exprs   []sqlparser.Expr // probe expressions, parallel to keyCols
 }
 
 // hashJoin is one equality-driven probe: source i's rows indexed by
@@ -23,25 +34,51 @@ type hashJoin struct {
 	table     map[string][]relstore.Row
 }
 
-// build populates the hash table once.
+// build populates the hash table once, pulling base tables through their
+// heap cursor and materialized sources from their row slice.
 func (h *hashJoin) build(e *env, i int) error {
 	if h.table != nil {
 		return nil
 	}
 	h.table = make(map[string][]relstore.Row)
 	saved := e.current[i]
-	for _, row := range e.sources[i].rows {
+	add := func(row relstore.Row) error {
 		e.current[i] = row
 		v, err := evalExpr(e, h.buildExpr)
 		if err != nil {
-			e.current[i] = saved
 			return err
 		}
 		if v.IsNull() {
-			continue // NULL never joins
+			return nil // NULL never joins
 		}
 		key := v.GroupKey()
 		h.table[key] = append(h.table[key], row)
+		return nil
+	}
+	src := e.sources[i]
+	if src.tbl != nil {
+		it := src.tbl.Iter()
+		for {
+			_, row, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := add(row); err != nil {
+				e.current[i] = saved
+				return err
+			}
+		}
+		if err := src.tbl.Err(); err != nil {
+			e.current[i] = saved
+			return err
+		}
+	} else {
+		for _, row := range src.rows {
+			if err := add(row); err != nil {
+				e.current[i] = saved
+				return err
+			}
+		}
 	}
 	e.current[i] = saved
 	return nil
@@ -58,6 +95,7 @@ func planJoin(e *env, where sqlparser.Expr) (*joinPlan, error) {
 	plan := &joinPlan{
 		level: make(map[int][]sqlparser.Expr),
 		hash:  make(map[int]*hashJoin),
+		probe: make(map[int]*indexProbe),
 	}
 	if where == nil || len(e.sources) == 0 {
 		return plan, nil
@@ -91,7 +129,71 @@ func planJoin(e *env, where sqlparser.Expr) (*joinPlan, error) {
 		}
 		plan.level[lvl] = append(plan.level[lvl], c)
 	}
+	planProbes(e, plan, splitConjuncts(where))
 	return plan, nil
+}
+
+// planProbes upgrades loop levels to primary-key index probes. A level
+// qualifies when pure equality conjuncts pin every key column of its
+// base table to expressions over strictly earlier levels (or constants).
+// The equalities stay behind as filters, so a probe can only skip rows
+// the filters would reject anyway.
+func planProbes(e *env, plan *joinPlan, conjuncts []sqlparser.Expr) {
+	for lvl, src := range e.sources {
+		if src.tbl == nil {
+			continue
+		}
+		keys := src.tbl.KeyColumns()
+		if len(keys) == 0 {
+			continue
+		}
+		slot := make(map[int]int, len(keys)) // column index -> key position
+		for i, k := range keys {
+			slot[k] = i
+		}
+		exprs := make([]sqlparser.Expr, len(keys))
+		found := 0
+		below := uint64(1)<<uint(lvl) - 1
+		for _, c := range conjuncts {
+			eq, ok := c.(*sqlparser.BinaryExpr)
+			if !ok || eq.Op != "=" {
+				continue
+			}
+			for _, side := range [2][2]sqlparser.Expr{{eq.L, eq.R}, {eq.R, eq.L}} {
+				ci, ok := colRefAt(e, side[0], lvl)
+				if !ok {
+					continue
+				}
+				si, isKey := slot[ci]
+				if !isKey || exprs[si] != nil {
+					continue
+				}
+				if m, pure := exprSources(e, side[1]); !pure || m&^below != 0 {
+					continue
+				}
+				exprs[si] = side[1]
+				found++
+				break
+			}
+		}
+		if found == len(keys) {
+			plan.probe[lvl] = &indexProbe{keyCols: keys, exprs: exprs}
+		}
+	}
+}
+
+// colRefAt reports whether x is a bare column reference into source si,
+// returning the column index within that source.
+func colRefAt(e *env, x sqlparser.Expr, si int) (int, bool) {
+	cr, ok := x.(sqlparser.ColRef)
+	if !ok {
+		return 0, false
+	}
+	idx, _, err := e.resolve(cr)
+	if err != nil || idx/1000 != si {
+		return 0, false
+	}
+	return idx % 1000, true
 }
 
 func splitConjuncts(e sqlparser.Expr) []sqlparser.Expr {

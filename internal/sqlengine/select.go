@@ -9,11 +9,14 @@ import (
 	"msql/internal/sqlval"
 )
 
-// boundSource is one FROM-clause input materialized for joining.
+// boundSource is one FROM-clause input. Base tables carry the storage-
+// backed table and are scanned lazily through its heap; views (and all
+// sources under LegacyMaterialize) are materialized into rows.
 type boundSource struct {
 	qualifier string // alias, or the table/view name
 	cols      []relstore.Column
-	rows      []relstore.Row
+	tbl       *relstore.Table // base table scanned in place; nil for views
+	rows      []relstore.Row  // materialized rows when tbl is nil
 }
 
 // env is the expression evaluation environment: the current row of every
@@ -86,100 +89,94 @@ func execSingleSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, out
 	}
 	e.current = make([]relstore.Row, len(e.sources))
 
-	// Gather the joined, filtered input rows. The join planner pushes
-	// WHERE conjuncts down to the first loop level where they are fully
-	// bound and turns equality conjuncts across sources into hash-join
-	// probes, so multi-table joins avoid the full cartesian product.
-	var inputs [][]relstore.Row
+	// The join planner pushes WHERE conjuncts down to the first loop
+	// level where they are fully bound, turns equality conjuncts across
+	// sources into hash-join probes, and upgrades levels whose primary
+	// key is fully pinned to single-row index probes. buildNodes turns
+	// the plan into an iterator per level and runLoops drives them.
 	plan, err := planJoin(e, sel.Where)
 	if err != nil {
 		return nil, err
 	}
-	var gather func(i int) error
-	gather = func(i int) error {
-		if i == len(e.sources) {
-			inputs = append(inputs, append([]relstore.Row(nil), e.current...))
-			return nil
-		}
-		visit := func(row relstore.Row) (bool, error) {
-			e.current[i] = row
-			for _, c := range plan.level[i] {
-				v, err := evalExpr(e, c)
-				if err != nil {
-					return false, err
-				}
-				if !v.Truthy() {
-					return false, nil
-				}
-			}
-			return true, nil
-		}
-		if hs := plan.hash[i]; hs != nil {
-			if err := hs.build(e, i); err != nil {
-				return err
-			}
-			key, err := evalExpr(e, hs.probeExpr)
-			if err != nil {
-				return err
-			}
-			if key.IsNull() {
-				e.current[i] = nil
-				return nil
-			}
-			for _, row := range hs.table[key.GroupKey()] {
-				ok, err := visit(row)
-				if err != nil {
-					return err
-				}
-				if ok {
-					if err := gather(i + 1); err != nil {
-						return err
-					}
-				}
-			}
-			e.current[i] = nil
-			return nil
-		}
-		for _, row := range e.sources[i].rows {
-			ok, err := visit(row)
-			if err != nil {
-				return err
-			}
-			if ok {
-				if err := gather(i + 1); err != nil {
-					return err
-				}
-			}
-		}
-		e.current[i] = nil
-		return nil
-	}
-	if len(e.sources) == 0 {
-		// SELECT without FROM: one empty row, unless WHERE filters it.
+
+	// noFromRow runs the FROM-less case: one empty row, unless WHERE
+	// filters it.
+	noFromRow := func(emit func() (bool, error)) error {
 		keep := true
 		if sel.Where != nil {
 			v, err := evalExpr(e, sel.Where)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keep = v.Truthy()
 		}
 		if keep {
-			inputs = append(inputs, nil)
+			_, err := emit()
+			return err
 		}
-	} else if err := gather(0); err != nil {
-		return nil, err
+		return nil
 	}
 
-	grouped := len(sel.GroupBy) > 0 || hasAggregate(sel)
-	if grouped {
+	if len(sel.GroupBy) > 0 || hasAggregate(sel) {
+		// Grouped queries need every input row before aggregation, so
+		// they still collect the joined rows.
+		var inputs [][]relstore.Row
+		collect := func() (bool, error) {
+			inputs = append(inputs, append([]relstore.Row(nil), e.current...))
+			return true, nil
+		}
+		if len(e.sources) == 0 {
+			if err := noFromRow(collect); err != nil {
+				return nil, err
+			}
+		} else if err := runLoops(e, buildNodes(e, plan), collect); err != nil {
+			return nil, err
+		}
 		return execGrouped(e, sel, inputs)
 	}
-	return project(e, sel, inputs)
+
+	// Ungrouped: stream each joined row straight through the projection.
+	// Without ORDER BY or DISTINCT a LIMIT can stop the scan early.
+	cols, items, err := expandItems(e, sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	var outs []rowWithKeys
+	earlyLimit := sel.Limit >= 0 && len(sel.OrderBy) == 0 && !sel.Distinct
+	emit := func() (bool, error) {
+		if earlyLimit && len(outs) >= sel.Limit {
+			return false, nil
+		}
+		vals := make([]sqlval.Value, len(items))
+		for i, it := range items {
+			v, err := evalExpr(e, it)
+			if err != nil {
+				return false, err
+			}
+			vals[i] = v
+		}
+		keys, err := orderKeys(e, sel, cols, vals)
+		if err != nil {
+			return false, err
+		}
+		outs = append(outs, rowWithKeys{vals: vals, keys: keys})
+		return !earlyLimit || len(outs) < sel.Limit, nil
+	}
+	if len(e.sources) == 0 {
+		if err := noFromRow(emit); err != nil {
+			return nil, err
+		}
+	} else if err := runLoops(e, buildNodes(e, plan), emit); err != nil {
+		return nil, err
+	}
+	return finishResult(sel, res, outs)
 }
 
-// bindSource materializes one FROM entry: a base table, a view, or a
-// database-qualified name.
+// bindSource binds one FROM entry: a base table, a view, or a
+// database-qualified name. Base tables are bound by reference and
+// scanned lazily during execution; views run their definition and
+// materialize the result.
 func bindSource(tx *relstore.Tx, db string, ref sqlparser.TableRef) (*boundSource, error) {
 	tdb, tname := splitName(db, ref.Name)
 	qual := ref.Alias
@@ -196,10 +193,17 @@ func bindSource(tx *relstore.Tx, db string, ref sqlparser.TableRef) (*boundSourc
 			return nil, err
 		}
 		src := &boundSource{qualifier: qual, cols: append([]relstore.Column(nil), tbl.Columns...)}
-		tbl.ForEach(func(idx int, row relstore.Row) bool {
-			src.rows = append(src.rows, row)
-			return true
-		})
+		if LegacyMaterialize {
+			tbl.ForEach(func(idx int, row relstore.Row) bool {
+				src.rows = append(src.rows, row)
+				return true
+			})
+			if err := tbl.Err(); err != nil {
+				return nil, err
+			}
+		} else {
+			src.tbl = tbl
+		}
 		return src, nil
 	}
 	if v, err := d.View(tname); err == nil {
@@ -225,34 +229,6 @@ func bindSource(tx *relstore.Tx, db string, ref sqlparser.TableRef) (*boundSourc
 		return src, nil
 	}
 	return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, tdb, tname)
-}
-
-// project evaluates the projection list, ORDER BY, DISTINCT and LIMIT over
-// ungrouped input rows.
-func project(e *env, sel *sqlparser.SelectStmt, inputs [][]relstore.Row) (*Result, error) {
-	cols, items, err := expandItems(e, sel)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Columns: cols}
-	var outs []rowWithKeys
-	for _, in := range inputs {
-		e.current = in
-		vals := make([]sqlval.Value, len(items))
-		for i, it := range items {
-			v, err := evalExpr(e, it)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
-		}
-		keys, err := orderKeys(e, sel, cols, vals)
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, rowWithKeys{vals: vals, keys: keys})
-	}
-	return finishResult(sel, res, outs)
 }
 
 type rowWithKeys struct {

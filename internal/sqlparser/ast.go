@@ -47,7 +47,8 @@ func (n ObjectName) IsMultiple() bool {
 type ColumnDef struct {
 	Name  string
 	Type  sqlval.Kind
-	Width int // declared width for CHAR(n); 0 when unspecified
+	Width int  // declared width for CHAR(n); 0 when unspecified
+	Key   bool // part of the PRIMARY KEY (column-level or table-level)
 }
 
 // SelectItem is one projection in a SELECT list.

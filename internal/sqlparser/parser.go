@@ -528,11 +528,44 @@ func (p *Parser) parseCreate() (Statement, error) {
 			return nil, err
 		}
 		for {
-			col, err := p.parseColumnDef()
-			if err != nil {
-				return nil, err
+			// Table-level PRIMARY KEY (a, b) marks the named columns.
+			if p.AcceptKeyword("PRIMARY") {
+				if err := p.ExpectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				if err := p.ExpectPunct("("); err != nil {
+					return nil, err
+				}
+				for {
+					kc, err := p.Ident()
+					if err != nil {
+						return nil, err
+					}
+					found := false
+					for i := range ct.Columns {
+						if ct.Columns[i].Name == kc {
+							ct.Columns[i].Key = true
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("PRIMARY KEY names unknown column %q", kc)
+					}
+					if !p.AcceptPunct(",") {
+						break
+					}
+				}
+				if err := p.ExpectPunct(")"); err != nil {
+					return nil, err
+				}
+			} else {
+				col, err := p.parseColumnDef()
+				if err != nil {
+					return nil, err
+				}
+				ct.Columns = append(ct.Columns, col)
 			}
-			ct.Columns = append(ct.Columns, col)
 			if !p.AcceptPunct(",") {
 				break
 			}
@@ -600,6 +633,12 @@ func (p *Parser) parseColumnDef() (ColumnDef, error) {
 		if err := p.ExpectPunct(")"); err != nil {
 			return ColumnDef{}, err
 		}
+	}
+	if p.AcceptKeyword("PRIMARY") {
+		if err := p.ExpectKeyword("KEY"); err != nil {
+			return ColumnDef{}, err
+		}
+		def.Key = true
 	}
 	return def, nil
 }

@@ -239,6 +239,46 @@ func TestParseDDL(t *testing.T) {
 	mustParse(t, "ROLLBACK")
 }
 
+func TestParsePrimaryKey(t *testing.T) {
+	// Column-level form.
+	s := mustParse(t, "CREATE TABLE t (a INTEGER PRIMARY KEY, b CHAR(10))")
+	ct := s.(*CreateTableStmt)
+	if !ct.Columns[0].Key || ct.Columns[1].Key {
+		t.Fatalf("column-level keys = %+v", ct.Columns)
+	}
+
+	// Table-level form, composite, declaration order independent.
+	s = mustParse(t, "CREATE TABLE t (a INTEGER, b CHAR(5), c FLOAT, PRIMARY KEY (c, a))")
+	ct = s.(*CreateTableStmt)
+	if !ct.Columns[0].Key || ct.Columns[1].Key || !ct.Columns[2].Key {
+		t.Fatalf("table-level keys = %+v", ct.Columns)
+	}
+
+	// Both forms deparse to the canonical table-level clause and
+	// round-trip.
+	for _, src := range []string{
+		"CREATE TABLE t (a INTEGER PRIMARY KEY, b CHAR(10))",
+		"CREATE TABLE t (a INTEGER, b CHAR(5), PRIMARY KEY (a, b))",
+	} {
+		out := Deparse(mustParse(t, src))
+		again, err := ParseStatement(out)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		a, b := mustParse(t, src).(*CreateTableStmt), again.(*CreateTableStmt)
+		for i := range a.Columns {
+			if a.Columns[i].Key != b.Columns[i].Key {
+				t.Fatalf("%q: key flags lost through deparse %q", src, out)
+			}
+		}
+	}
+
+	// Unknown column in the table-level clause is an error.
+	if _, err := ParseStatement("CREATE TABLE t (a INTEGER, PRIMARY KEY (zz))"); err == nil {
+		t.Fatal("PRIMARY KEY over unknown column parsed")
+	}
+}
+
 func TestParseNumericWidthScale(t *testing.T) {
 	s := mustParse(t, "CREATE TABLE t (x NUMERIC(10, 2))")
 	ct := s.(*CreateTableStmt)

@@ -74,6 +74,7 @@ func deparseStmt(b *strings.Builder, s Statement) {
 		b.WriteString("CREATE TABLE ")
 		b.WriteString(st.Table.String())
 		b.WriteString(" (")
+		var keys []string
 		for i, c := range st.Columns {
 			if i > 0 {
 				b.WriteString(", ")
@@ -81,6 +82,14 @@ func deparseStmt(b *strings.Builder, s Statement) {
 			b.WriteString(c.Name)
 			b.WriteString(" ")
 			b.WriteString(typeName(c))
+			if c.Key {
+				keys = append(keys, c.Name)
+			}
+		}
+		if len(keys) > 0 {
+			b.WriteString(", PRIMARY KEY (")
+			b.WriteString(strings.Join(keys, ", "))
+			b.WriteString(")")
 		}
 		b.WriteString(")")
 	case *DropTableStmt:

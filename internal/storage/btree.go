@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// btreeOrder is the maximum number of keys per node. Nodes split at
+// btreeOrder+1 keys and merge or borrow below btreeOrder/2.
+const btreeOrder = 64
+
+// BTree maps order-preserving encoded keys (see EncodeKey) to int64
+// positions — relstore stores a table's stable row index there. Keys are
+// unique: Insert on an existing key replaces the value and reports it.
+//
+// The tree is an in-memory index rebuilt from the heap on open, so it
+// needs no page format; split and merge keep lookups O(log n) under any
+// insert/delete mix. It is not safe for concurrent use — the table lock
+// that guards the heap guards its index too.
+type BTree struct {
+	root *bnode
+	size int
+}
+
+// bnode is one node. Leaves hold vals parallel to keys and a next
+// pointer for in-order scans; interior nodes hold len(keys)+1 children,
+// where keys[i] is the smallest key reachable under kids[i+1].
+type bnode struct {
+	leaf bool
+	keys [][]byte
+	vals []int64  // leaves only
+	kids []*bnode // interior only
+	next *bnode   // leaves only
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &bnode{leaf: true}}
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.size }
+
+// search returns the index of the first key >= k in n.keys.
+func search(n *bnode, k []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an interior node covers k.
+func childIndex(n *bnode, k []byte) int {
+	i := search(n, k)
+	if i < len(n.keys) && bytes.Compare(n.keys[i], k) == 0 {
+		return i + 1
+	}
+	return i
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key []byte) (int64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[childIndex(n, key)]
+	}
+	i := search(n, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores value under key, replacing any existing entry; replaced
+// reports whether one existed.
+func (t *BTree) Insert(key []byte, value int64) (replaced bool) {
+	k := append([]byte(nil), key...)
+	replaced = t.insert(t.root, k, value)
+	if !replaced {
+		t.size++
+	}
+	if len(t.root.keys) > btreeOrder {
+		old := t.root
+		midKey, right := split(old)
+		t.root = &bnode{
+			keys: [][]byte{midKey},
+			kids: []*bnode{old, right},
+		}
+	}
+	return replaced
+}
+
+func (t *BTree) insert(n *bnode, key []byte, value int64) bool {
+	if n.leaf {
+		i := search(n, key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = value
+			return true
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		return false
+	}
+	ci := childIndex(n, key)
+	replaced := t.insert(n.kids[ci], key, value)
+	if len(n.kids[ci].keys) > btreeOrder {
+		midKey, right := split(n.kids[ci])
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = midKey
+		n.kids = append(n.kids, nil)
+		copy(n.kids[ci+2:], n.kids[ci+1:])
+		n.kids[ci+1] = right
+	}
+	return replaced
+}
+
+// split divides an overfull node in two, returning the separator key and
+// the new right sibling.
+func split(n *bnode) ([]byte, *bnode) {
+	mid := len(n.keys) / 2
+	if n.leaf {
+		right := &bnode{
+			leaf: true,
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([]int64(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right := &bnode{
+		keys: append([][]byte(nil), n.keys[mid+1:]...),
+		kids: append([]*bnode(nil), n.kids[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.kids = n.kids[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, rebalancing by borrow or merge on underflow. It
+// reports whether the key existed.
+func (t *BTree) Delete(key []byte) bool {
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+	}
+	if !t.root.leaf && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+	}
+	return deleted
+}
+
+const minKeys = btreeOrder / 2
+
+func (t *BTree) delete(n *bnode, key []byte) bool {
+	if n.leaf {
+		i := search(n, key)
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	ci := childIndex(n, key)
+	deleted := t.delete(n.kids[ci], key)
+	if len(n.kids[ci].keys) < minKeys {
+		t.rebalance(n, ci)
+	}
+	return deleted
+}
+
+// rebalance fixes an underfull child ci of n by borrowing from a rich
+// sibling or merging with a poor one.
+func (t *BTree) rebalance(n *bnode, ci int) {
+	child := n.kids[ci]
+	// Borrow from the left sibling.
+	if ci > 0 && len(n.kids[ci-1].keys) > minKeys {
+		left := n.kids[ci-1]
+		if child.leaf {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{left.keys[last]}, child.keys...)
+			child.vals = append([]int64{left.vals[last]}, child.vals...)
+			left.keys = left.keys[:last]
+			left.vals = left.vals[:last]
+			n.keys[ci-1] = child.keys[0]
+		} else {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{n.keys[ci-1]}, child.keys...)
+			child.kids = append([]*bnode{left.kids[last+1]}, child.kids...)
+			n.keys[ci-1] = left.keys[last]
+			left.keys = left.keys[:last]
+			left.kids = left.kids[:last+1]
+		}
+		return
+	}
+	// Borrow from the right sibling.
+	if ci < len(n.kids)-1 && len(n.kids[ci+1].keys) > minKeys {
+		right := n.kids[ci+1]
+		if child.leaf {
+			child.keys = append(child.keys, right.keys[0])
+			child.vals = append(child.vals, right.vals[0])
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			n.keys[ci] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[ci])
+			child.kids = append(child.kids, right.kids[0])
+			n.keys[ci] = right.keys[0]
+			right.keys = right.keys[1:]
+			right.kids = right.kids[1:]
+		}
+		return
+	}
+	// Merge with a sibling. Merge child into left, or right into child.
+	li := ci - 1
+	if li < 0 {
+		li = ci
+	}
+	left, right := n.kids[li], n.kids[li+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[li])
+		left.keys = append(left.keys, right.keys...)
+		left.kids = append(left.kids, right.kids...)
+	}
+	n.keys = append(n.keys[:li], n.keys[li+1:]...)
+	n.kids = append(n.kids[:li+1], n.kids[li+2:]...)
+}
+
+// Ascend calls fn for every key in order, starting at the first key
+// >= from (nil means the smallest). fn returning false stops the scan.
+func (t *BTree) Ascend(from []byte, fn func(key []byte, value int64) bool) {
+	n := t.root
+	for !n.leaf {
+		if from == nil {
+			n = n.kids[0]
+		} else {
+			n = n.kids[childIndex(n, from)]
+		}
+	}
+	i := 0
+	if from != nil {
+		i = search(n, from)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// CheckInvariants walks the tree verifying ordering, fill factors, leaf
+// depth uniformity and the leaf chain; tests call it after every
+// mutation in the property suite.
+func (t *BTree) CheckInvariants() error {
+	depth := -1
+	var prevLeaf *bnode
+	count := 0
+	var walk func(n *bnode, d int, lo, hi []byte) error
+	walk = func(n *bnode, d int, lo, hi []byte) error {
+		for i := 0; i < len(n.keys); i++ {
+			if i > 0 && bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				return fmt.Errorf("btree: keys out of order at depth %d", d)
+			}
+			if lo != nil && bytes.Compare(n.keys[i], lo) < 0 {
+				return fmt.Errorf("btree: key below subtree bound")
+			}
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return fmt.Errorf("btree: key above subtree bound")
+			}
+		}
+		if n != t.root && len(n.keys) < minKeys {
+			return fmt.Errorf("btree: underfull node (%d keys) at depth %d", len(n.keys), d)
+		}
+		if len(n.keys) > btreeOrder {
+			return fmt.Errorf("btree: overfull node (%d keys)", len(n.keys))
+		}
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("btree: leaf vals/keys mismatch")
+			}
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			prevLeaf = n
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("btree: interior kids/keys mismatch")
+		}
+		for i, kid := range n.kids {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(kid, d+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, nil, nil); err != nil {
+		return err
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("btree: leaf chain extends past last leaf")
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d keys found", t.size, count)
+	}
+	return nil
+}

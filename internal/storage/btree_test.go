@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	tr := NewBTree()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if replaced := tr.Insert([]byte("k"), 1); replaced {
+		t.Fatal("first insert reported replaced")
+	}
+	if replaced := tr.Insert([]byte("k"), 2); !replaced {
+		t.Fatal("second insert did not report replaced")
+	}
+	if v, ok := tr.Get([]byte("k")); !ok || v != 2 {
+		t.Fatalf("got %d,%v want 2,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if !tr.Delete([]byte("k")) {
+		t.Fatal("delete of present key returned false")
+	}
+	if tr.Delete([]byte("k")) {
+		t.Fatal("delete of absent key returned true")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+// TestBTreeProperty drives the tree with a random operation mix, checking
+// it against a reference map and validating structural invariants as it
+// goes. Enough keys are used to force multiple levels of splits, and the
+// delete phase drains it far enough to force merges and root collapse.
+func TestBTreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewBTree()
+	ref := make(map[string]int64)
+	key := func() []byte {
+		return []byte(fmt.Sprintf("key-%06d", rng.Intn(20000)))
+	}
+	for step := 0; step < 60000; step++ {
+		k := key()
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert-heavy to grow depth
+			v := rng.Int63()
+			replaced := tr.Insert(k, v)
+			_, had := ref[string(k)]
+			if replaced != had {
+				t.Fatalf("step %d: Insert replaced=%v, ref had=%v", step, replaced, had)
+			}
+			ref[string(k)] = v
+		case 6, 7: // delete
+			deleted := tr.Delete(k)
+			_, had := ref[string(k)]
+			if deleted != had {
+				t.Fatalf("step %d: Delete=%v, ref had=%v", step, deleted, had)
+			}
+			delete(ref, string(k))
+		default: // lookup
+			v, ok := tr.Get(k)
+			want, had := ref[string(k)]
+			if ok != had || (ok && v != want) {
+				t.Fatalf("step %d: Get=%d,%v want %d,%v", step, v, ok, want, had)
+			}
+		}
+		if step%2000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("step %d: Len=%d ref=%d", step, tr.Len(), len(ref))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after mixed phase: %v", err)
+	}
+
+	// Drain completely, checking invariants through the merge cascade.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("drain: key %q missing", k)
+		}
+		if i%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("drain %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("after drain Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("empty tree: %v", err)
+	}
+}
+
+func TestBTreeAscendOrder(t *testing.T) {
+	tr := NewBTree()
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[string]int64)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("k%08d", rng.Intn(100000))
+		v := int64(i)
+		tr.Insert([]byte(k), v)
+		ref[k] = v
+	}
+	want := make([]string, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+
+	var got []string
+	tr.Ascend(nil, func(k []byte, v int64) bool {
+		got = append(got, string(k))
+		if v != ref[string(k)] {
+			t.Fatalf("key %q: value %d, want %d", k, v, ref[string(k)])
+		}
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Ascend yielded %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Ascend from a midpoint starts at the first key >= from.
+	mid := want[len(want)/2]
+	var first string
+	tr.Ascend([]byte(mid), func(k []byte, v int64) bool {
+		first = string(k)
+		return false
+	})
+	if first != mid {
+		t.Fatalf("Ascend(%q) started at %q", mid, first)
+	}
+	// From a key between two present keys.
+	between := append([]byte(mid), 0x00)
+	tr.Ascend(between, func(k []byte, v int64) bool {
+		if bytes.Compare(k, between) < 0 {
+			t.Fatalf("Ascend(%q) yielded smaller key %q", between, k)
+		}
+		return false
+	})
+}

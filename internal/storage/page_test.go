@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTestPage() page {
+	b := make([]byte, PageSize)
+	initPage(b)
+	return page{b}
+}
+
+func TestPageInsertReadRoundtrip(t *testing.T) {
+	p := newTestPage()
+	var slots []int
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		data := []byte(fmt.Sprintf("tuple-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i)))
+		s, err := p.insert(data)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots = append(slots, s)
+		want = append(want, data)
+	}
+	for i, s := range slots {
+		got, err := p.read(s)
+		if err != nil {
+			t.Fatalf("read slot %d: %v", s, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("slot %d: got %q want %q", s, got, want[i])
+		}
+	}
+	if p.liveCount() != 50 {
+		t.Fatalf("liveCount = %d, want 50", p.liveCount())
+	}
+}
+
+func TestPageDeleteAndSlotReuse(t *testing.T) {
+	p := newTestPage()
+	a, _ := p.insert([]byte("aaaa"))
+	b, _ := p.insert([]byte("bbbb"))
+	if err := p.delete(a); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := p.read(a); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("read deleted slot: err = %v, want ErrBadSlot", err)
+	}
+	if err := p.delete(a); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double delete: err = %v, want ErrBadSlot", err)
+	}
+	c, err := p.insert([]byte("cccc"))
+	if err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+	if c != a {
+		t.Fatalf("dead slot not reused: got slot %d, want %d", c, a)
+	}
+	got, _ := p.read(b)
+	if string(got) != "bbbb" {
+		t.Fatalf("untouched slot clobbered: %q", got)
+	}
+}
+
+func TestPageCompactionReclaimsHoles(t *testing.T) {
+	p := newTestPage()
+	// Fill with 100-byte tuples until full.
+	tuple := bytes.Repeat([]byte{0xAB}, 100)
+	var slots []int
+	for {
+		s, err := p.insert(tuple)
+		if err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("insert: %v", err)
+			}
+			break
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other tuple: plenty of total free space, all fragmented.
+	freed := 0
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.delete(slots[i]); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		freed += 100
+	}
+	// A tuple larger than any single hole must still fit via compaction.
+	big := bytes.Repeat([]byte{0xCD}, freed-slotSize-8)
+	s, err := p.insert(big)
+	if err != nil {
+		t.Fatalf("insert after fragmentation: %v", err)
+	}
+	got, err := p.read(s)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("compacted read: err=%v", err)
+	}
+	// Survivors are intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.read(slots[i])
+		if err != nil || !bytes.Equal(got, tuple) {
+			t.Fatalf("survivor slot %d damaged after compact: err=%v", slots[i], err)
+		}
+	}
+}
+
+func TestPageUpdate(t *testing.T) {
+	p := newTestPage()
+	s, _ := p.insert([]byte("hello world"))
+	// Shrink in place.
+	if err := p.update(s, []byte("hi")); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	got, _ := p.read(s)
+	if string(got) != "hi" {
+		t.Fatalf("after shrink: %q", got)
+	}
+	// Grow within the page.
+	big := bytes.Repeat([]byte{0x42}, 500)
+	if err := p.update(s, big); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	got, _ = p.read(s)
+	if !bytes.Equal(got, big) {
+		t.Fatalf("after grow: %d bytes", len(got))
+	}
+	// Grow past what the page can hold.
+	if err := p.update(s, bytes.Repeat([]byte{1}, PageSize)); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("oversize update: err = %v, want ErrPageFull", err)
+	}
+	// The original survives a failed update.
+	got, _ = p.read(s)
+	if !bytes.Equal(got, big) {
+		t.Fatalf("tuple damaged by failed update")
+	}
+}
+
+func TestPageSealVerify(t *testing.T) {
+	p := newTestPage()
+	p.insert([]byte("some data"))
+	sealPage(p.b)
+	if err := verifyPage(p.b); err != nil {
+		t.Fatalf("verify sealed page: %v", err)
+	}
+	// Flip one payload byte: torn page.
+	p.b[PageSize-3] ^= 0xFF
+	if err := verifyPage(p.b); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupted page: err = %v, want ErrBadChecksum", err)
+	}
+	p.b[PageSize-3] ^= 0xFF
+	if err := verifyPage(p.b); err != nil {
+		t.Fatalf("restored page: %v", err)
+	}
+	// A structurally invalid header fails even with a matching CRC.
+	p.setFreeHigh(3) // below the header
+	sealPage(p.b)
+	if err := verifyPage(p.b); !errors.Is(err, ErrBadPageShape) {
+		t.Fatalf("bad shape: err = %v, want ErrBadPageShape", err)
+	}
+}
+
+func TestPageRejectsOversizeTuple(t *testing.T) {
+	p := newTestPage()
+	if _, err := p.insert(make([]byte, maxTuple+1)); !errors.Is(err, ErrTupleTooBig) {
+		t.Fatalf("err = %v, want ErrTupleTooBig", err)
+	}
+	// Exactly maxTuple fits an empty page.
+	if _, err := p.insert(make([]byte, maxTuple)); err != nil {
+		t.Fatalf("maxTuple insert: %v", err)
+	}
+}

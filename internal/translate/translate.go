@@ -367,7 +367,7 @@ func (c *Context) TranslateUnit(scope []semvar.ScopeEntry, unit []UnitQuery, mod
 				def := catalog.TableDef{Name: ct.Table.Last()}
 				for _, col := range ct.Columns {
 					def.Columns = append(def.Columns, relstore.Column{
-						Name: col.Name, Type: col.Type, Width: col.Width,
+						Name: col.Name, Type: col.Type, Width: col.Width, Key: col.Key,
 					})
 				}
 				if err := c.GDD.PutTable(el.Entry.Database, def); err == nil {
