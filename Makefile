@@ -1,4 +1,4 @@
-.PHONY: build test bench check
+.PHONY: build test bench check lint-metrics
 
 build:
 	go build ./...
@@ -14,3 +14,8 @@ bench:
 check:
 	go vet ./...
 	go test -race ./...
+
+# Every registered metric must be msql_-prefixed snake_case and
+# documented in DESIGN.md's metric inventory.
+lint-metrics:
+	sh scripts/lint-metrics.sh

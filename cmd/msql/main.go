@@ -61,8 +61,10 @@ func realMain() int {
 		lamJournal  = flag.String("lam-journal", "", "directory of per-service participant journals: each demo service is served over TCP on a fixed loopback port with durable prepared state, replayed on the next start")
 		breakerN    = flag.Int("breaker-threshold", 0, "consecutive transient failures that open a site's circuit breaker (0 disables breakers)")
 		breakerCool = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open trial")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/queries, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 		showTrace   = flag.Bool("trace", false, "print the per-task timing tree of each executed script")
+		slowMS      = flag.Int("slow-query-ms", 0, "log statements slower than this many milliseconds as JSON lines (0 disables the slow-query log)")
+		slowPath    = flag.String("slow-query-log", "", "slow-query log destination file (default stderr); only meaningful with -slow-query-ms")
 
 		dataDir     = flag.String("data-dir", "", "persist every service's store on disk under this directory: committed work checkpoints to slotted heap files and survives restarts")
 		bufferPages = flag.Int("buffer-pages", 0, "buffer pool frames per disk-backed service store (0 = storage default); only meaningful with -data-dir")
@@ -108,7 +110,21 @@ func realMain() int {
 			return 1
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "debug: http://%s/ — /metrics, /debug/traces, /debug/vars, /debug/pprof\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "debug: http://%s/ — /metrics, /debug/traces, /debug/queries, /debug/vars, /debug/pprof\n", ln.Addr())
+	}
+	if *slowMS > 0 {
+		dest := io.Writer(os.Stderr)
+		if *slowPath != "" {
+			f, err := os.OpenFile(*slowPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "slow-query-log:", err)
+				return 1
+			}
+			defer f.Close()
+			dest = f
+		}
+		obs.SetSlowQueryLog(obs.NewSlowQueryLog(dest, time.Duration(*slowMS)*time.Millisecond))
+		defer obs.SetSlowQueryLog(nil)
 	}
 	if *stateDir != "" {
 		if err := loadState(fed, *stateDir); err != nil {
@@ -440,6 +456,14 @@ func printResult(w io.Writer, r *core.Result, showDOL bool) {
 				decision = "commit"
 			}
 			fmt.Fprintf(w, "  in-doubt: %s (db %s) session %d at %s — resolve to %s\n", p.Entry, p.Database, p.SessionID, p.Addr, decision)
+		}
+	case core.KindExplain:
+		if r.Plan != nil {
+			if r.PlanJSON {
+				fmt.Fprintln(w, r.Plan.JSON())
+			} else {
+				fmt.Fprint(w, r.Plan.Render())
+			}
 		}
 	case core.KindIncorporate:
 		fmt.Fprintln(w, "service incorporated")

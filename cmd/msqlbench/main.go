@@ -41,12 +41,51 @@ import (
 // federation metrics (the sites here are in-process, but the counters and
 // latency histograms accumulate all the same).
 type report struct {
-	GeneratedAt string               `json:"generated_at"`
-	Quick       bool                 `json:"quick"`
-	Only        string               `json:"only,omitempty"`
-	Experiments []*experiments.Table `json:"experiments"`
-	Listings    map[string]string    `json:"listings,omitempty"`
-	Metrics     map[string]any       `json:"metrics"`
+	GeneratedAt string                `json:"generated_at"`
+	Quick       bool                  `json:"quick"`
+	Only        string                `json:"only,omitempty"`
+	Experiments []*experiments.Table  `json:"experiments"`
+	Listings    map[string]string     `json:"listings,omitempty"`
+	Obs         *experiments.ObsStats `json:"obs,omitempty"`
+	Metrics     map[string]any        `json:"metrics"`
+}
+
+// checkObsBaseline is the experiments-mode regression smoke against a
+// committed BENCH_obs.json: the EXPLAIN ANALYZE path must not get over
+// 2x slower, the federation plan for the reference join must keep its
+// shape, and every metric name present in the baseline snapshot must
+// still be registered (a vanished metric is a broken dashboard).
+func checkObsBaseline(rep *report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	base := &report{}
+	if err := json.Unmarshal(data, base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if base.Obs != nil && rep.Obs != nil {
+		if base.Obs.AnalyzeUS > 0 && rep.Obs.AnalyzeUS > 2*base.Obs.AnalyzeUS {
+			return fmt.Errorf("EXPLAIN ANALYZE regression: %.1f us is over 2x the baseline %.1f us",
+				rep.Obs.AnalyzeUS, base.Obs.AnalyzeUS)
+		}
+		if base.Obs.PlanNodes != rep.Obs.PlanNodes {
+			return fmt.Errorf("federation plan shape changed: %d nodes, baseline has %d",
+				rep.Obs.PlanNodes, base.Obs.PlanNodes)
+		}
+	}
+	var missing []string
+	for name := range base.Metrics {
+		if _, ok := rep.Metrics[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics gone since the baseline: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("baseline check passed: analyze %.1f us vs baseline %.1f us, %d metrics all present\n",
+		rep.Obs.AnalyzeUS, base.Obs.AnalyzeUS, len(base.Metrics))
+	return nil
 }
 
 func main() {
@@ -146,6 +185,14 @@ func main() {
 		{"B7", func() error { return printTable(experiments.B7ConsistencyLevels(iters)) }},
 		{"B8", func() error { return printTable(experiments.B8SyncGranularity(8, iters/2)) }},
 		{"B9", func() error { return printTable(experiments.B9JoinOptimization(b6Sizes[len(b6Sizes)-1]/2, 3)) }},
+		{"B10", func() error {
+			tbl, stats, err := experiments.B10ObservabilityOverhead(iters)
+			if err != nil {
+				return err
+			}
+			rep.Obs = stats
+			return printTable(tbl, nil)
+		}},
 	}
 
 	ran := 0
@@ -176,5 +223,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d experiment tables)\n", *jsonPath, len(rep.Experiments))
+	}
+	if *baseline != "" {
+		if err := checkObsBaseline(rep, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "baseline:", err)
+			os.Exit(1)
+		}
 	}
 }

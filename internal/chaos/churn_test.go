@@ -2,12 +2,14 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -245,6 +247,10 @@ func TestChurnSoak(t *testing.T) {
 		MaxConcurrent: 8, MaxQueuePerTenant: 4, MaxWaitMS: 150,
 		StmtTimeoutMS: 5000,
 		PoolSize:      4,
+		// 1ms threshold: the 2ms group-commit window alone pushes every
+		// synchronized unit over it, so the soak exercises the slow-query
+		// log across both coordinator incarnations.
+		SlowQueryMS: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -326,5 +332,37 @@ COMMIT;`)
 	}
 	if !committed {
 		t.Fatalf("post-recovery unit did not commit: %+v", res)
+	}
+
+	// The slow-query log is part of the soak's deliverable: statements
+	// crossed the 1ms threshold in both coordinator incarnations, every
+	// line is well-formed JSON, and the file is saved for the CI artifact
+	// upload whether or not the test failed.
+	slowPath := filepath.Join(dir, "slow-query.log")
+	data, err := os.ReadFile(slowPath)
+	if err != nil {
+		t.Fatalf("slow-query log: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(data) == 0 || len(lines) == 0 {
+		t.Error("slow-query log is empty after a loaded soak")
+	}
+	for i, line := range lines {
+		var e struct {
+			SQL       string  `json:"sql"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("slow-query log line %d is not JSON: %q: %v", i+1, line, err)
+		}
+		if e.SQL == "" || e.ElapsedMS < 1 {
+			t.Fatalf("slow-query log line %d below threshold or missing sql: %q", i+1, line)
+		}
+	}
+	t.Logf("slow-query log: %d entries over the 1ms threshold", len(lines))
+	if dst := os.Getenv(EnvArtifacts); dst != "" {
+		if err := os.MkdirAll(dst, 0o755); err == nil {
+			_ = os.WriteFile(filepath.Join(dst, "churn-slow-query.log"), data, 0o644)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"msql/internal/lam"
 	"msql/internal/mdserver"
 	"msql/internal/mtlog"
+	"msql/internal/obs"
 )
 
 // EnvCoordConfig carries a coordinator child's JSON configuration; its
@@ -59,6 +60,11 @@ type CoordConfig struct {
 	StmtTimeoutMS int
 	// PoolSize enables LAM client connection pooling.
 	PoolSize int
+	// SlowQueryMS enables the slow-query log at this threshold.
+	// Entries append to SlowQueryLog, so the file accumulates across
+	// crash-restart incarnations of the child.
+	SlowQueryMS  int
+	SlowQueryLog string
 }
 
 // IsCoordChild reports whether this process was launched as a chaos
@@ -133,6 +139,13 @@ func CoordMain() {
 	if cfg.StmtTimeoutMS > 0 {
 		fed.StmtTimeout = time.Duration(cfg.StmtTimeoutMS) * time.Millisecond
 	}
+	if cfg.SlowQueryMS > 0 && cfg.SlowQueryLog != "" {
+		slow, err := os.OpenFile(cfg.SlowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalCoord("slow-query log: %v", err)
+		}
+		obs.SetSlowQueryLog(obs.NewSlowQueryLog(slow, time.Duration(cfg.SlowQueryMS)*time.Millisecond))
+	}
 
 	srv, err := mdserver.Serve(cfg.Addr, fed, mdserver.Options{MaxSessions: cfg.MaxSessions})
 	if err != nil {
@@ -183,6 +196,9 @@ func LaunchCoord(dir string, cfg CoordConfig) (*CoordProc, error) {
 	}
 	if cfg.AddrFile == "" {
 		cfg.AddrFile = filepath.Join(dir, "coord.addr")
+	}
+	if cfg.SlowQueryMS > 0 && cfg.SlowQueryLog == "" {
+		cfg.SlowQueryLog = filepath.Join(dir, "slow-query.log")
 	}
 	p := &CoordProc{Cfg: cfg, Dir: dir}
 	if err := p.start(); err != nil {

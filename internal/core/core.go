@@ -52,7 +52,52 @@ var (
 		"Synchronized units (sync, global DML, multitransactions) by terminal GlobalState.", "state")
 	mDegradedResults = obs.Default().Counter("msql_degraded_results_total",
 		"Non-vital scope entries dropped from an answer because their site's circuit breaker was open.")
+	mStmtLatency = obs.Default().HistogramVec("msql_stmt_latency_seconds",
+		"MSQL statement wall time in seconds, by tenant and verb.", nil, "tenant", "verb")
 )
+
+// tenantLabel names a session's tenant for metric labels; the anonymous
+// tenant gets a stable non-empty label.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "anonymous"
+	}
+	return tenant
+}
+
+// stmtText renders a statement for the query inventory and the
+// slow-query log: full SQL for query-shaped statements, a short synthetic
+// form for everything else.
+func stmtText(stmt msqlparser.Stmt) string {
+	switch st := stmt.(type) {
+	case *msqlparser.QueryStmt:
+		return sqlparser.Deparse(st.Body)
+	case *msqlparser.ExplainStmt:
+		var b strings.Builder
+		b.WriteString("EXPLAIN ")
+		if st.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+		if st.JSON {
+			b.WriteString("FORMAT JSON ")
+		}
+		b.WriteString(sqlparser.Deparse(st.Query.Body))
+		return b.String()
+	case *msqlparser.UseStmt:
+		names := make([]string, len(st.Entries))
+		for i, e := range st.Entries {
+			names[i] = e.Name()
+			if e.Vital {
+				names[i] += " VITAL"
+			}
+		}
+		return "USE " + strings.Join(names, " ")
+	case *msqlparser.MultiTxStmt:
+		return fmt.Sprintf("BEGIN MULTITRANSACTION (%d statements)", len(st.Body))
+	default:
+		return strings.ToUpper(verbOf(stmt))
+	}
+}
 
 // GlobalState classifies the outcome of a synchronized unit with respect
 // to its vital set (§3.2.1).
@@ -103,6 +148,7 @@ const (
 	KindIncorporate
 	KindImport
 	KindNoop
+	KindExplain // an EXPLAIN [ANALYZE] plan tree
 )
 
 // Result is the outcome of one MSQL statement (or synchronization point).
@@ -148,6 +194,13 @@ type Result struct {
 	// TraceID correlates this result with its trace in the tracer's ring
 	// buffer (and in the LAM servers' tracers), empty when untraced.
 	TraceID string
+	// Plan is the federation plan tree of an EXPLAIN [ANALYZE] statement
+	// (KindExplain), with per-site subtrees grafted under their task
+	// nodes when analyzed. Nil for every other kind.
+	Plan *obs.PlanNode
+	// PlanJSON records the FORMAT JSON request of the EXPLAIN statement
+	// that produced Plan, so renderers pick the right serialization.
+	PlanJSON bool
 }
 
 // DegradedEntry names a scope entry missing from an answer and why.
@@ -445,6 +498,8 @@ func verbOf(stmt msqlparser.Stmt) string {
 		default:
 			return "query"
 		}
+	case *msqlparser.ExplainStmt:
+		return "explain"
 	case *msqlparser.CommitStmt:
 		return "commit"
 	case *msqlparser.RollbackStmt:

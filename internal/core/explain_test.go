@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"msql/internal/mtlog"
+	"msql/internal/obs"
+)
+
+// TestFederationExplainPlain renders the decomposition of a fan-out
+// multiple query without touching any site: task nodes for both scope
+// entries, no execution annotations.
+func TestFederationExplainPlain(t *testing.T) {
+	f := paperFederation(t, false)
+	results, err := f.ExecScript(`
+USE avis national
+LET car.type.status BE cars.cartype.carst
+                       vehicle.vty.vstat
+EXPLAIN SELECT %code, type, ~rate FROM car WHERE status = 'available'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[len(results)-1]
+	if r.Kind != KindExplain {
+		t.Fatalf("kind = %v, want KindExplain", r.Kind)
+	}
+	p := r.Plan
+	if p == nil {
+		t.Fatal("no plan attached")
+	}
+	if p.Op != "msql" || p.Detail != "fan-out select" {
+		t.Fatalf("root = %s %q", p.Op, p.Detail)
+	}
+	tasks := p.FindAll("task")
+	if len(tasks) != 2 {
+		t.Fatalf("task nodes = %d, want one per scope entry:\n%s", len(tasks), p.Render())
+	}
+	names := p.Render()
+	for _, db := range []string{"avis", "national"} {
+		if !strings.Contains(names, db) {
+			t.Fatalf("plan names no task on %s:\n%s", db, names)
+		}
+	}
+	for _, n := range append(tasks, p) {
+		if n.Analyzed {
+			t.Fatalf("plain EXPLAIN must not execute, node %s is analyzed", n.Op)
+		}
+		if strings.Contains(n.Detail, "status=") {
+			t.Fatalf("plain EXPLAIN carries an execution status: %q", n.Detail)
+		}
+	}
+	if r.DOL == "" {
+		t.Fatal("no DOL program text")
+	}
+}
+
+// TestFederationExplainAnalyze is the acceptance scenario: EXPLAIN
+// ANALYZE of a decomposed cross-database join must execute it, return a
+// tree whose per-operator rows are consistent with the assembled result,
+// and graft each site's local plan under its task node.
+func TestFederationExplainAnalyze(t *testing.T) {
+	f := paperFederation(t, false)
+	results, err := f.ExecScript(`
+USE continental united
+EXPLAIN ANALYZE SELECT c.flnu, u.fn
+FROM continental.flights c, united.flight u
+WHERE c.rate < u.rates
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[len(results)-1]
+	if r.Kind != KindExplain {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Multitable == nil || r.Multitable.TotalRows() != 2 {
+		t.Fatalf("ANALYZE did not produce the query's result: %+v", r.Multitable)
+	}
+	p := r.Plan
+	if p == nil || !p.Analyzed {
+		t.Fatal("no analyzed plan")
+	}
+	if p.Detail != "decomposed global query" {
+		t.Fatalf("root detail = %q", p.Detail)
+	}
+	if p.Rows != int64(r.Multitable.TotalRows()) {
+		t.Fatalf("root rows = %d, result has %d", p.Rows, r.Multitable.TotalRows())
+	}
+	if p.TimeNS <= 0 {
+		t.Fatal("root has no wall time")
+	}
+	tasks := p.FindAll("task")
+	if len(tasks) < 3 { // two reads + the final assembly task
+		t.Fatalf("task nodes = %d:\n%s", len(tasks), p.Render())
+	}
+	var final *obs.PlanNode
+	for _, n := range tasks {
+		if !n.Analyzed {
+			t.Fatalf("task %q not analyzed", n.Detail)
+		}
+		if !strings.Contains(n.Detail, "status=committed") {
+			t.Fatalf("task %q did not commit", n.Detail)
+		}
+		if strings.Contains(n.Detail, "final") {
+			final = n
+		}
+	}
+	if final == nil {
+		t.Fatalf("no final task node:\n%s", p.Render())
+	}
+	if final.Rows != int64(r.Multitable.TotalRows()) {
+		t.Fatalf("final task rows = %d, result has %d", final.Rows, r.Multitable.TotalRows())
+	}
+	if len(p.FindAll("ship")) < 2 {
+		t.Fatalf("expected ship nodes for both read tasks:\n%s", p.Render())
+	}
+	// Site-local subtrees are grafted under the tasks: the final task
+	// joins the two shipped temp tables.
+	if final.Find("scan") == nil && final.Find("hash-join") == nil && final.Find("index-probe") == nil {
+		t.Fatalf("final task has no grafted local plan:\n%s", p.Render())
+	}
+	var taskRows int64
+	for _, n := range tasks {
+		if n != final && strings.Contains(n.Detail, "read") {
+			taskRows += n.Rows
+		}
+	}
+	// continental ships 2 flights, united ships 1.
+	if taskRows != 3 {
+		t.Fatalf("read tasks produced %d rows, want 3:\n%s", taskRows, p.Render())
+	}
+}
+
+// TestExplainInventoryAndSlowLog checks the statement-level surface: the
+// EXPLAIN ANALYZE statement appears in the query inventory behind
+// /debug/queries with the same trace id as its result, and the installed
+// slow-query log receives a JSON line carrying that trace id and the
+// plan digest.
+func TestExplainInventoryAndSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	obs.SetSlowQueryLog(obs.NewSlowQueryLog(&buf, time.Nanosecond))
+	defer obs.SetSlowQueryLog(nil)
+
+	f := paperFederation(t, false)
+	results, err := f.ExecScriptContext(context.Background(), `
+USE continental united
+EXPLAIN ANALYZE SELECT c.flnu, u.fn
+FROM continental.flights c, united.flight u
+WHERE c.rate < u.rates
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[len(results)-1]
+	if r.TraceID == "" {
+		t.Fatal("result has no trace id")
+	}
+
+	_, recent := obs.DefaultQueries.Snapshot()
+	var rec *obs.QueryRecord
+	for i := range recent {
+		if recent[i].TraceID == r.TraceID && recent[i].Verb == "explain" {
+			rec = &recent[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("/debug/queries has no explain record for trace %s", r.TraceID)
+	}
+	if !rec.Done || rec.Elapsed <= 0 {
+		t.Fatalf("record not finished: %+v", rec)
+	}
+	if rec.Digest == "" || rec.Digest != r.Plan.Digest() {
+		t.Fatalf("record digest %q != plan digest %q", rec.Digest, r.Plan.Digest())
+	}
+	if rec.Plan == nil || rec.Plan.Find("task") == nil {
+		t.Fatal("record carries no plan tree")
+	}
+	if !strings.HasPrefix(rec.SQL, "EXPLAIN ANALYZE SELECT") {
+		t.Fatalf("record sql = %q", rec.SQL)
+	}
+
+	// Every line in the slow log (threshold 1ns: everything is slow) is
+	// valid JSON; one of them is our statement.
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e struct {
+			TraceID    string  `json:"trace_id"`
+			Verb       string  `json:"verb"`
+			SQL        string  `json:"sql"`
+			ElapsedMS  float64 `json:"elapsed_ms"`
+			PlanDigest string  `json:"plan_digest"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("slow log line is not JSON: %q: %v", line, err)
+		}
+		if e.TraceID == r.TraceID && e.Verb == "explain" {
+			found = true
+			if e.ElapsedMS <= 0 {
+				t.Fatalf("slow entry has no elapsed time: %q", line)
+			}
+			if e.PlanDigest != r.Plan.Digest() {
+				t.Fatalf("slow entry digest %q != plan digest %q", e.PlanDigest, r.Plan.Digest())
+			}
+			if !strings.HasPrefix(e.SQL, "EXPLAIN ANALYZE SELECT") {
+				t.Fatalf("slow entry sql = %q", e.SQL)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-log entry for trace %s in:\n%s", r.TraceID, buf.String())
+	}
+}
+
+// TestInventoryMTIDStamped checks that a journaled statement's inventory
+// record carries the MTID the coordinator journal assigned, correlating
+// /debug/queries with the recovery journal and the slow-query log.
+func TestInventoryMTIDStamped(t *testing.T) {
+	f := paperFederation(t, false)
+	j, err := mtlog.Open(filepath.Join(t.TempDir(), "mt.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	f.SetJournal(j)
+	_, err = f.ExecScriptContext(context.Background(), `
+USE avis national
+INSERT INTO avis.cars (code, cartype)
+SELECT v.vcode, v.vty FROM national.vehicle v WHERE v.vstat = 'FREE'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recent := obs.DefaultQueries.Snapshot()
+	for _, rec := range recent {
+		if rec.Verb == "insert" && strings.Contains(rec.SQL, "avis.cars") {
+			if rec.MTID == 0 {
+				t.Fatalf("journaled insert has no MTID: %+v", rec)
+			}
+			return
+		}
+	}
+	t.Fatal("no inventory record for the global insert")
+}
+
+// TestInventorySyncRecord checks that the end-of-script synchronization
+// of queued DML appears in the inventory as its own "sync" entry with
+// the journal's MTID.
+func TestInventorySyncRecord(t *testing.T) {
+	f := paperFederation(t, false)
+	j, err := mtlog.Open(filepath.Join(t.TempDir(), "mt.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	f.SetJournal(j)
+	_, err = f.ExecScriptContext(context.Background(), `
+USE continental VITAL
+UPDATE flights SET rate = rate + 1 WHERE flnu = 100
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recent := obs.DefaultQueries.Snapshot()
+	for _, rec := range recent {
+		if rec.Verb == "sync" && strings.Contains(rec.SQL, "SYNCHRONIZE") {
+			if !rec.Done {
+				t.Fatalf("sync record not finished: %+v", rec)
+			}
+			if rec.MTID == 0 {
+				t.Fatalf("sync record has no MTID: %+v", rec)
+			}
+			return
+		}
+	}
+	t.Fatal("no sync record in the inventory")
+}

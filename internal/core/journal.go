@@ -186,8 +186,10 @@ func (f *Federation) runPlanTraced(ctx context.Context, kind string, prog *dol.P
 		return nil, fmt.Errorf("core: journal begin: %w", err)
 	}
 	// The multitransaction id rides to participants on every prepare, so
-	// their journals correlate with ours.
+	// their journals correlate with ours, and onto the statement's query
+	// inventory record so /debug/queries and the slow-query log carry it.
 	ctx = lam.WithMTID(ctx, begin.MTID)
+	obs.DefaultQueries.SetMTID(obs.QueryIDFrom(ctx), begin.MTID)
 	tj := &txJournal{j: j, mtid: begin.MTID}
 	out, err := f.engine.RunLogged(ctx, prog, tj)
 	if err == nil && out != nil && len(out.Unresolved) == 0 && !compOwed(meta, out) {

@@ -109,21 +109,67 @@ func (s *Session) ExecScriptContext(ctx context.Context, src string) ([]*Result,
 			return results, ErrDrained
 		}
 		verb := verbOf(stmt)
+		qid := obs.DefaultQueries.Begin(obs.QueryRecord{
+			TraceID: trace.ID(),
+			Tenant:  s.tenant,
+			Verb:    verb,
+			SQL:     stmtText(stmt),
+		})
 		ssp, sctx := obs.StartSpan(ctx, "stmt:"+verb, obs.KindStatement)
+		sctx = obs.WithQueryID(sctx, qid)
 		start := time.Now()
 		rs, err := s.admitted(sctx, func(actx context.Context) ([]*Result, error) {
 			return s.execStmt(actx, stmt)
 		})
 		ssp.EndErr(err)
+		elapsed := time.Since(start)
 		mStatements.With(verb).Inc()
-		add(time.Since(start), rs...)
+		mStmtLatency.With(tenantLabel(s.tenant), verb).Observe(elapsed.Seconds())
+		var plan *obs.PlanNode
+		for _, r := range rs {
+			if r != nil && r.Plan != nil {
+				plan = r.Plan
+			}
+		}
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		if rec, ok := obs.DefaultQueries.Finish(qid, elapsed, plan, errMsg); ok {
+			obs.SlowLog().Observe(&rec)
+		}
+		add(elapsed, rs...)
 		if err != nil {
 			return results, err
 		}
 	}
+	// The end-of-script synchronization is where queued DML actually runs
+	// (and where the journal assigns its MTID), so it gets its own entry
+	// in the query inventory and the slow-query log.
+	var qid uint64
+	if len(s.unit) > 0 {
+		qid = obs.DefaultQueries.Begin(obs.QueryRecord{
+			TraceID: trace.ID(),
+			Tenant:  s.tenant,
+			Verb:    "sync",
+			SQL:     fmt.Sprintf("SYNCHRONIZE (%d queued statements)", len(s.unit)),
+		})
+		ctx = obs.WithQueryID(ctx, qid)
+	}
 	start := time.Now()
 	r, err := s.gatedFlush(ctx)
-	add(time.Since(start), r)
+	elapsed := time.Since(start)
+	if qid != 0 {
+		mStmtLatency.With(tenantLabel(s.tenant), "sync").Observe(elapsed.Seconds())
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		if rec, ok := obs.DefaultQueries.Finish(qid, elapsed, nil, errMsg); ok {
+			obs.SlowLog().Observe(&rec)
+		}
+	}
+	add(elapsed, r)
 	return results, err
 }
 
@@ -190,6 +236,12 @@ func (s *Session) execStmt(ctx context.Context, stmt msqlparser.Stmt) ([]*Result
 
 	case *msqlparser.QueryStmt:
 		return s.execQuery(ctx, st)
+
+	case *msqlparser.ExplainStmt:
+		// Like a SELECT, EXPLAIN executes immediately without forcing a
+		// synchronization of the pending unit.
+		r, err := s.execExplain(ctx, st)
+		return resultList(r), err
 
 	case *msqlparser.CommitStmt:
 		r, err := s.sync(ctx, translate.SyncCommit)

@@ -71,6 +71,11 @@ type TaskInfo struct {
 	RowsAffected int
 	Database     string
 	Conn         string
+	// Plan is the site-local plan tree of the task's last EXPLAIN
+	// statement, nil otherwise. Elapsed covers the task's statement body
+	// (not its 2PC phases).
+	Plan    *obs.PlanNode
+	Elapsed time.Duration
 }
 
 // InDoubt identifies a participant whose prepared transaction could not
@@ -588,7 +593,11 @@ func (r *run) runTask(rt *taskRT, c *conn) {
 		if len(res.Columns) > 0 || rt.info.Result == nil {
 			rt.info.Result = res
 		}
+		if res.Plan != nil {
+			rt.info.Plan = res.Plan
+		}
 		rt.info.RowsAffected += res.RowsAffected
+		rt.info.Elapsed = time.Since(start)
 		rt.mu.Unlock()
 	}
 	if rt.stmt.NoCommit {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"msql/internal/lam"
 	"msql/internal/ldbms"
 	"msql/internal/msqlparser"
+	"msql/internal/obs"
 	"msql/internal/relstore"
 	"msql/internal/semvar"
 	"msql/internal/sqlengine"
@@ -740,4 +743,89 @@ SELECT COUNT(a.id) AS n FROM d1.items a, d2.items b WHERE a.id = b.id AND a.val 
 	t.AddRow("hash join + pushdown", ms(optimized))
 	t.Note += fmt.Sprintf("; optimization wins %.1fx", float64(naive)/float64(optimized))
 	return t, nil
+}
+
+// ObsStats is the machine-readable core of B10, committed in
+// BENCH_obs.json and consumed by msqlbench -baseline as the
+// observability regression smoke.
+type ObsStats struct {
+	SelectUS  float64 `json:"select_us"`  // plain decomposed join
+	ExplainUS float64 `json:"explain_us"` // translate-only EXPLAIN
+	AnalyzeUS float64 `json:"analyze_us"` // EXPLAIN ANALYZE, slow log installed
+	// OverheadPct is the EXPLAIN ANALYZE wall-time overhead over the
+	// plain statement, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	// PlanNodes counts the federation plan tree's nodes for the join,
+	// a structural fingerprint of the decomposition.
+	PlanNodes int `json:"plan_nodes"`
+}
+
+// B10ObservabilityOverhead prices the observability plane: the same
+// cross-database join executed plain, as a translate-only EXPLAIN, and
+// under EXPLAIN ANALYZE with a slow-query log capturing every statement.
+func B10ObservabilityOverhead(iters int) (*Table, *ObsStats, error) {
+	t := &Table{
+		ID:     "B10",
+		Title:  "observability overhead — EXPLAIN ANALYZE and the slow-query log",
+		Note:   "decomposed two-site join; ANALYZE wraps every shipped subquery in a site-local EXPLAIN ANALYZE",
+		Header: []string{"execution mode", "mean per statement"},
+	}
+	fed, err := demo.Build(demo.Options{Seed: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	const join = `USE continental united
+SELECT c.flnu, u.fn FROM continental.flights c, united.flight u WHERE c.rate < u.rates`
+	run := func(script string) (time.Duration, error) {
+		return timeIt(iters, func() error {
+			_, err := fed.ExecScript(script)
+			return err
+		})
+	}
+	plainD, err := run(join)
+	if err != nil {
+		return nil, nil, err
+	}
+	explainD, err := run("USE continental united\nEXPLAIN " + strings.TrimPrefix(join, "USE continental united\n"))
+	if err != nil {
+		return nil, nil, err
+	}
+	// ANALYZE with the slow-query log catching everything: the worst case
+	// a production -slow-query-ms setting can configure.
+	obs.SetSlowQueryLog(obs.NewSlowQueryLog(io.Discard, time.Nanosecond))
+	analyzeScript := "USE continental united\nEXPLAIN ANALYZE " + strings.TrimPrefix(join, "USE continental united\n")
+	analyzeD, err := run(analyzeScript)
+	obs.SetSlowQueryLog(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := fed.ExecScript(analyzeScript)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := results[len(results)-1].Plan
+	nodes := 0
+	var count func(n *obs.PlanNode)
+	count = func(n *obs.PlanNode) {
+		nodes++
+		for _, c := range n.Children {
+			count(c)
+		}
+	}
+	count(plan)
+
+	stats := &ObsStats{
+		SelectUS:  float64(plainD.Microseconds()),
+		ExplainUS: float64(explainD.Microseconds()),
+		AnalyzeUS: float64(analyzeD.Microseconds()),
+		PlanNodes: nodes,
+	}
+	if plainD > 0 {
+		stats.OverheadPct = 100 * (float64(analyzeD)/float64(plainD) - 1)
+	}
+	t.AddRow("plain SELECT", us(plainD))
+	t.AddRow("EXPLAIN (translate only)", us(explainD))
+	t.AddRow("EXPLAIN ANALYZE + slow log", us(analyzeD))
+	t.Note += fmt.Sprintf("; ANALYZE overhead %.1f%%, %d plan nodes", stats.OverheadPct, nodes)
+	return t, stats, nil
 }

@@ -537,7 +537,7 @@ func (s *remoteSession) Exec(ctx context.Context, sql string) (*sqlengine.Result
 	if err != nil {
 		return nil, err
 	}
-	res := &sqlengine.Result{RowsAffected: resp.Result.RowsAffected, Rows: resp.Result.Rows}
+	res := &sqlengine.Result{RowsAffected: resp.Result.RowsAffected, Rows: resp.Result.Rows, Plan: resp.Result.Plan}
 	for _, c := range resp.Result.Columns {
 		res.Columns = append(res.Columns, sqlengine.ResultCol{Name: c.Name, Type: sqlval.Kind(c.Type)})
 	}

@@ -610,7 +610,7 @@ func (t *TCPServer) dispatch(req *wire.Request, cs *connState) *wire.Response {
 		if err != nil {
 			return fail(err)
 		}
-		wres := &wire.Result{RowsAffected: res.RowsAffected, Rows: res.Rows}
+		wres := &wire.Result{RowsAffected: res.RowsAffected, Rows: res.Rows, Plan: res.Plan}
 		for _, c := range res.Columns {
 			wres.Columns = append(wres.Columns, wire.Column{Name: c.Name, Type: uint8(c.Type)})
 		}

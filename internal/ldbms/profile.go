@@ -60,7 +60,9 @@ func ClassifySQL(sql string) StmtClass {
 		return ClassOther
 	}
 	switch fields[0] {
-	case "SELECT":
+	case "SELECT", "EXPLAIN":
+		// EXPLAIN targets are restricted to SELECT by the engine, so the
+		// statement class follows the read-only target.
 		return ClassSelect
 	case "INSERT":
 		return ClassInsert

@@ -260,6 +260,18 @@ func toScriptResult(r *core.Result) wire.ScriptResult {
 			w.State = "failed"
 			w.Detail = fmt.Sprintf("no acceptable state reachable (DOLSTATUS=%d)", r.Status)
 		}
+	case core.KindExplain:
+		if r.Plan != nil {
+			w.Columns = []string{"QUERY PLAN"}
+			text := r.Plan.Render()
+			if r.PlanJSON {
+				text = r.Plan.JSON()
+			}
+			for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+				w.Rows = append(w.Rows, []string{line})
+			}
+			w.Detail = "plan digest " + r.Plan.Digest()
+		}
 	case core.KindIncorporate:
 		w.Detail = "service incorporated"
 	case core.KindImport:
@@ -284,6 +296,8 @@ func kindString(k core.ResultKind) string {
 		return "import"
 	case core.KindNoop:
 		return "noop"
+	case core.KindExplain:
+		return "explain"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -114,6 +114,18 @@ type QueryStmt struct {
 	Comps []CompClause
 }
 
+// ExplainStmt shows (EXPLAIN) or executes and profiles (EXPLAIN
+// ANALYZE) the federation plan of a retrieval query: the decomposition
+// into per-site tasks, the ships into the coordinator, and — under
+// ANALYZE — each site's annotated local plan tree:
+//
+//	EXPLAIN [ANALYZE] [FORMAT JSON] SELECT ...
+type ExplainStmt struct {
+	Analyze bool
+	JSON    bool // FORMAT JSON
+	Query   *QueryStmt
+}
+
 // CommitStmt is an explicit global commit — a synchronization point.
 type CommitStmt struct{}
 
@@ -199,6 +211,7 @@ type DropTriggerStmt struct {
 func (*UseStmt) msqlStmt()                 {}
 func (*LetStmt) msqlStmt()                 {}
 func (*QueryStmt) msqlStmt()               {}
+func (*ExplainStmt) msqlStmt()             {}
 func (*CommitStmt) msqlStmt()              {}
 func (*RollbackStmt) msqlStmt()            {}
 func (*MultiTxStmt) msqlStmt()             {}

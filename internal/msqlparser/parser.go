@@ -50,7 +50,7 @@ var stmtStarters = map[string]bool{
 	"USE": true, "LET": true, "SELECT": true, "INSERT": true, "UPDATE": true,
 	"DELETE": true, "CREATE": true, "DROP": true, "BEGIN": true, "END": true,
 	"COMMIT": true, "ROLLBACK": true, "COMP": true, "INCORPORATE": true,
-	"IMPORT": true,
+	"IMPORT": true, "EXPLAIN": true,
 }
 
 func parseStmt(p *sqlparser.Parser, inMultiTx bool) (Stmt, error) {
@@ -65,6 +65,8 @@ func parseStmt(p *sqlparser.Parser, inMultiTx bool) (Stmt, error) {
 		return parseLet(p)
 	case "SELECT", "INSERT", "UPDATE", "DELETE":
 		return parseQuery(p)
+	case "EXPLAIN":
+		return parseExplain(p)
 	case "CREATE", "DROP":
 		// Multidatabase-level definitions are handled here; plain
 		// CREATE/DROP TABLE/VIEW fall through to the SQL grammar.
@@ -268,6 +270,33 @@ func parseQuery(p *sqlparser.Parser) (*QueryStmt, error) {
 	}
 	p.AcceptPunct(";")
 	return q, nil
+}
+
+// parseExplain handles EXPLAIN [ANALYZE] [FORMAT JSON] <query>.
+func parseExplain(p *sqlparser.Parser) (*ExplainStmt, error) {
+	if err := p.ExpectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	ex := &ExplainStmt{}
+	if p.AcceptKeyword("ANALYZE") {
+		ex.Analyze = true
+	}
+	if p.AcceptKeyword("FORMAT") {
+		if err := p.ExpectKeyword("JSON"); err != nil {
+			return nil, err
+		}
+		ex.JSON = true
+	}
+	t := p.Peek()
+	if t.Kind != sqlparser.TokIdent || !isKw(t.Text, "SELECT") {
+		return nil, fmt.Errorf("msqlparser: EXPLAIN supports SELECT queries, found %s", t)
+	}
+	q, err := parseQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	ex.Query = q
+	return ex, nil
 }
 
 // parseMultiTx handles BEGIN MULTITRANSACTION ... COMMIT <states> END

@@ -340,3 +340,43 @@ SELECT code FROM cars;
 		t.Fatalf("stmts = %d", len(s.Stmts))
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	s := mustParse(t, `EXPLAIN SELECT %code FROM car`)
+	ex, ok := s.Stmts[0].(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt is %T, want *ExplainStmt", s.Stmts[0])
+	}
+	if ex.Analyze || ex.JSON {
+		t.Fatalf("plain EXPLAIN parsed with analyze=%v json=%v", ex.Analyze, ex.JSON)
+	}
+	if ex.Query == nil || ex.Query.Body == nil {
+		t.Fatal("EXPLAIN lost its query")
+	}
+
+	s = mustParse(t, `EXPLAIN ANALYZE FORMAT JSON SELECT f.flnu FROM continental.flights f WHERE f.rate < 100`)
+	ex = s.Stmts[0].(*ExplainStmt)
+	if !ex.Analyze || !ex.JSON {
+		t.Fatalf("flags lost: analyze=%v json=%v", ex.Analyze, ex.JSON)
+	}
+	sel, ok := ex.Query.Body.(*sqlparser.SelectStmt)
+	if !ok {
+		t.Fatalf("target is %T, want *SelectStmt", ex.Query.Body)
+	}
+	if len(sel.From) != 1 || sel.From[0].Alias != "f" {
+		t.Fatalf("target select mangled: %+v", sel.From)
+	}
+
+	// EXPLAIN keeps the enclosing scope like any query statement.
+	s = mustParse(t, "USE avis national\nEXPLAIN ANALYZE SELECT %code FROM car")
+	if _, ok := s.Stmts[1].(*ExplainStmt); !ok {
+		t.Fatalf("stmt after USE is %T, want *ExplainStmt", s.Stmts[1])
+	}
+
+	if _, err := Parse(`EXPLAIN DELETE FROM car`); err == nil {
+		t.Fatal("EXPLAIN of a non-SELECT must not parse")
+	}
+	if _, err := Parse(`EXPLAIN FORMAT XML SELECT a FROM t`); err == nil {
+		t.Fatal("EXPLAIN FORMAT XML must not parse")
+	}
+}

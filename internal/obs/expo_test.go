@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden locks the full text exposition — every metric
+// shape, headers, ordering, bucket cumulation — against a golden file.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/obs -run Golden.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_plain_total", "a plain counter").Add(3)
+	reg.Gauge("demo_level", "a plain gauge").Set(-2)
+	h := reg.Histogram("demo_latency_seconds", "a plain histogram", []float64{0.5, 1})
+	// Powers of two keep the float sum exact across platforms.
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(4)
+	cv := reg.CounterVec("demo_ops_total", "a counter vec", "site", "op")
+	cv.With("a:1", "exec").Inc()
+	cv.With("b:2", "prepare").Add(2)
+	gv := reg.GaugeVec("demo_depth", "a gauge vec", "queue")
+	gv.With("fast").Set(9)
+	hv := reg.HistogramVec("demo_rt_seconds", "a histogram vec", []float64{0.5}, "site")
+	hv.With("a:1").Observe(0.25)
+	hv.With("a:1").Observe(2)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	got := b.String()
+
+	golden := filepath.Join("testdata", "expo.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestConcurrentWithLabelCreation hammers the label-child creation path
+// of every vec type from many goroutines sharing label values; under
+// -race this is the proof that With's double-checked creation is safe.
+func TestConcurrentWithLabelCreation(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("race_ops_total", "h", "k")
+	gv := reg.GaugeVec("race_depth", "h", "k")
+	hv := reg.HistogramVec("race_rt_seconds", "h", []float64{1}, "k")
+	const workers = 32
+	const iters = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				label := fmt.Sprintf("l%d", (w+i)%17)
+				cv.With(label).Inc()
+				gv.With(label).Set(int64(i))
+				hv.With(label).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 17; i++ {
+		total += cv.With(fmt.Sprintf("l%d", i)).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	var hcount int64
+	for i := 0; i < 17; i++ {
+		hcount += hv.With(fmt.Sprintf("l%d", i)).Count()
+	}
+	if hcount != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", hcount, workers*iters)
+	}
+}

@@ -51,6 +51,25 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		}
 		_ = enc.Encode(tr.Recent(n))
 	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		inflight, recent := DefaultQueries.Snapshot()
+		n := 20
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		if n >= 0 && n < len(recent) {
+			recent = recent[:n]
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			InFlight []QueryRecord `json:"in_flight"`
+			Recent   []QueryRecord `json:"recent"`
+		}{InFlight: inflight, Recent: recent})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -62,7 +81,7 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "msql debug surface\n\n/metrics\n/debug/traces\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "msql debug surface\n\n/metrics\n/debug/traces\n/debug/queries\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -165,10 +165,18 @@ func (t *Table) keyOf(row Row) []byte {
 // rowAt reads and decodes the row at a stable index; nil for tombstones
 // and out-of-range indexes.
 func (t *Table) rowAt(idx int) (Row, error) {
+	return t.rowAtCounted(idx, nil)
+}
+
+// rowAtCounted is rowAt with page traffic recorded on pc (nil-safe). The
+// counter is per-call rather than per-table because concurrent readers
+// share the Table under shared locks — attribution must follow the
+// statement, not the structure.
+func (t *Table) rowAtCounted(idx int, pc *storage.PageCounters) (Row, error) {
 	if idx < 0 || idx >= len(t.rids) || t.rids[idx].IsNil() {
 		return nil, nil
 	}
-	data, err := t.heap.Read(t.rids[idx])
+	data, err := t.heap.ReadCounted(t.rids[idx], pc)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +189,12 @@ func (t *Table) rowAt(idx int) (Row, error) {
 
 // RowAt returns the row at a stable index, or nil when deleted.
 func (t *Table) RowAt(idx int) Row {
-	row, err := t.rowAt(idx)
+	return t.RowAtCounted(idx, nil)
+}
+
+// RowAtCounted is RowAt with page traffic recorded on pc (nil-safe).
+func (t *Table) RowAtCounted(idx int, pc *storage.PageCounters) Row {
+	row, err := t.rowAtCounted(idx, pc)
 	if err != nil {
 		t.fault(err)
 		return nil
@@ -192,11 +205,16 @@ func (t *Table) RowAt(idx int) Row {
 // ForEach iterates live rows with their stable indexes, stopping when fn
 // returns false. The caller must hold a lock on the table via a Tx.
 func (t *Table) ForEach(fn func(idx int, row Row) bool) {
+	t.ForEachCounted(fn, nil)
+}
+
+// ForEachCounted is ForEach with page traffic recorded on pc (nil-safe).
+func (t *Table) ForEachCounted(fn func(idx int, row Row) bool, pc *storage.PageCounters) {
 	for i, rid := range t.rids {
 		if rid.IsNil() {
 			continue
 		}
-		data, err := t.heap.Read(rid)
+		data, err := t.heap.ReadCounted(rid, pc)
 		if err != nil {
 			t.fault(err)
 			return
@@ -218,10 +236,17 @@ func (t *Table) ForEach(fn func(idx int, row Row) bool) {
 type TableIter struct {
 	t   *Table
 	pos int
+	pc  *storage.PageCounters
 }
 
 // Iter returns a cursor positioned before the first row.
 func (t *Table) Iter() *TableIter { return &TableIter{t: t} }
+
+// IterCounted returns a cursor recording its page traffic on pc
+// (nil-safe), attributing reads to the statement driving the cursor.
+func (t *Table) IterCounted(pc *storage.PageCounters) *TableIter {
+	return &TableIter{t: t, pc: pc}
+}
 
 // Next returns the next live row and its stable index; ok is false at
 // the end of the table (or on a storage fault, which latches in Err).
@@ -232,7 +257,7 @@ func (it *TableIter) Next() (idx int, row Row, ok bool) {
 		if it.t.rids[i].IsNil() {
 			continue
 		}
-		r, err := it.t.rowAt(i)
+		r, err := it.t.rowAtCounted(i, it.pc)
 		if err != nil {
 			it.t.fault(err)
 			return 0, nil, false

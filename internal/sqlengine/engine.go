@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"msql/internal/obs"
 	"msql/internal/relstore"
 	"msql/internal/sqlparser"
 	"msql/internal/sqlval"
@@ -31,11 +32,14 @@ type ResultCol struct {
 	Type sqlval.Kind
 }
 
-// Result is the outcome of one statement.
+// Result is the outcome of one statement. Plan is non-nil only for
+// EXPLAIN statements: the plan tree the executor chose, annotated with
+// runtime statistics under ANALYZE.
 type Result struct {
 	Columns      []ResultCol
 	Rows         [][]sqlval.Value
 	RowsAffected int
+	Plan         *obs.PlanNode
 }
 
 // ColumnNames returns the output column names.
@@ -54,6 +58,8 @@ func Execute(tx *relstore.Tx, db string, stmt sqlparser.Statement) (*Result, err
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		return execSelect(tx, db, s, nil)
+	case *sqlparser.ExplainStmt:
+		return execExplain(tx, db, s)
 	case *sqlparser.InsertStmt:
 		return execInsert(tx, db, s)
 	case *sqlparser.UpdateStmt:

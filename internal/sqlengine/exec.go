@@ -9,9 +9,12 @@ package sqlengine
 // pool, not the table.
 
 import (
+	"time"
+
 	"msql/internal/relstore"
 	"msql/internal/sqlparser"
 	"msql/internal/sqlval"
+	"msql/internal/storage"
 )
 
 // LegacyMaterialize reverts bindSource to materializing base tables into
@@ -69,24 +72,76 @@ func runLoops(e *env, nodes []levelNode, emit func() (bool, error)) error {
 
 // buildNodes picks the access path for every level: index probe when the
 // planner pinned all key columns, hash join for an equality across
-// levels, sequential scan otherwise.
+// levels, sequential scan otherwise. Under EXPLAIN ANALYZE (e.stats set)
+// each node is wrapped in a statNode that meters rows, loops and wall
+// time, and its page traffic is attributed to the level's PageCounters.
 func buildNodes(e *env, plan *joinPlan) []levelNode {
 	nodes := make([]levelNode, len(e.sources))
 	for i := range e.sources {
 		filters := plan.level[i]
+		var pc *storage.PageCounters
+		if e.stats != nil {
+			pc = &e.stats.nodes[i].pc
+		}
 		switch {
 		case plan.probe[i] != nil:
 			nodes[i] = &probeNode{
-				e: e, si: i, probe: plan.probe[i], filters: filters,
-				fallback: &scanNode{e: e, si: i, filters: filters},
+				e: e, si: i, probe: plan.probe[i], filters: filters, pc: pc,
+				fallback: &scanNode{e: e, si: i, filters: filters, pc: pc},
 			}
 		case plan.hash[i] != nil:
-			nodes[i] = &hashNode{e: e, si: i, h: plan.hash[i], filters: filters}
+			nodes[i] = &hashNode{e: e, si: i, h: plan.hash[i], filters: filters, pc: pc}
 		default:
-			nodes[i] = &scanNode{e: e, si: i, filters: filters}
+			nodes[i] = &scanNode{e: e, si: i, filters: filters, pc: pc}
+		}
+		if e.stats != nil {
+			nodes[i] = &statNode{inner: nodes[i], st: &e.stats.nodes[i]}
 		}
 	}
 	return nodes
+}
+
+// execStats holds the per-level runtime counters of one EXPLAIN ANALYZE
+// execution. Page traffic is recorded per level rather than per table
+// because concurrent statements share tables (and their buffer pool).
+type execStats struct {
+	nodes []nodeStats
+}
+
+type nodeStats struct {
+	rows   int64
+	loops  int64
+	timeNS int64
+	pc     storage.PageCounters
+}
+
+func newExecStats(levels int) *execStats {
+	return &execStats{nodes: make([]nodeStats, levels)}
+}
+
+// statNode meters the node it wraps. It exists only under EXPLAIN
+// ANALYZE, so the normal execution path pays no timing overhead.
+type statNode struct {
+	inner levelNode
+	st    *nodeStats
+}
+
+func (n *statNode) reset() error {
+	n.st.loops++
+	t0 := time.Now()
+	err := n.inner.reset()
+	n.st.timeNS += time.Since(t0).Nanoseconds()
+	return err
+}
+
+func (n *statNode) next() (bool, error) {
+	t0 := time.Now()
+	ok, err := n.inner.next()
+	n.st.timeNS += time.Since(t0).Nanoseconds()
+	if ok {
+		n.st.rows++
+	}
+	return ok, err
 }
 
 // passFilters evaluates this level's pushed-down conjuncts against the
@@ -110,6 +165,7 @@ type scanNode struct {
 	e       *env
 	si      int
 	filters []sqlparser.Expr
+	pc      *storage.PageCounters
 	it      *relstore.TableIter
 	pos     int
 }
@@ -117,7 +173,7 @@ type scanNode struct {
 func (n *scanNode) reset() error {
 	if src := n.e.sources[n.si]; src.tbl != nil {
 		if n.it == nil {
-			n.it = src.tbl.Iter()
+			n.it = src.tbl.IterCounted(n.pc)
 		} else {
 			n.it.Reset()
 		}
@@ -163,12 +219,13 @@ type hashNode struct {
 	si      int
 	h       *hashJoin
 	filters []sqlparser.Expr
+	pc      *storage.PageCounters
 	bucket  []relstore.Row
 	pos     int
 }
 
 func (n *hashNode) reset() error {
-	if err := n.h.build(n.e, n.si); err != nil {
+	if err := n.h.build(n.e, n.si, n.pc); err != nil {
 		return err
 	}
 	key, err := evalExpr(n.e, n.h.probeExpr)
@@ -211,6 +268,7 @@ type probeNode struct {
 	si       int
 	probe    *indexProbe
 	filters  []sqlparser.Expr
+	pc       *storage.PageCounters
 	fallback *scanNode
 
 	scanning bool // coercion failed; fallback scan took over for this reset
@@ -238,7 +296,7 @@ func (n *probeNode) reset() error {
 		vals[i] = cv
 	}
 	if idx, ok := src.tbl.LookupKey(vals); ok {
-		n.row = src.tbl.RowAt(idx)
+		n.row = src.tbl.RowAtCounted(idx, n.pc)
 	}
 	return src.tbl.Err()
 }

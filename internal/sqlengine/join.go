@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"msql/internal/relstore"
 	"msql/internal/sqlparser"
+	"msql/internal/storage"
 )
 
 // joinPlan distributes WHERE conjuncts over the join's loop levels and
@@ -35,8 +36,10 @@ type hashJoin struct {
 }
 
 // build populates the hash table once, pulling base tables through their
-// heap cursor and materialized sources from their row slice.
-func (h *hashJoin) build(e *env, i int) error {
+// heap cursor and materialized sources from their row slice. Page traffic
+// is recorded on pc (nil-safe) so an EXPLAIN ANALYZE attributes the build
+// scan to the hash-join operator.
+func (h *hashJoin) build(e *env, i int, pc *storage.PageCounters) error {
 	if h.table != nil {
 		return nil
 	}
@@ -57,7 +60,7 @@ func (h *hashJoin) build(e *env, i int) error {
 	}
 	src := e.sources[i]
 	if src.tbl != nil {
-		it := src.tbl.Iter()
+		it := src.tbl.IterCounted(pc)
 		for {
 			_, row, ok := it.Next()
 			if !ok {

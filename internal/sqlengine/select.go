@@ -29,17 +29,28 @@ type env struct {
 	current []relstore.Row // current row per source
 	parent  *env
 	aggs    map[*sqlparser.FuncCall]sqlval.Value
+	stats   *execStats // per-level runtime counters; non-nil under ANALYZE
 }
 
 // execSelect runs a SELECT, including UNION branches. outer is the
 // enclosing environment for correlated subqueries, nil at the top level.
 func execSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env) (*Result, error) {
+	return execSelectEx(tx, db, sel, outer, nil)
+}
+
+// execSelectEx is execSelect with an optional explain context: when ec is
+// non-nil the chosen plan is recorded under ec.node, and with ec.analyze
+// unset the statement is planned but not executed.
+func execSelectEx(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env, ec *explainCtx) (*Result, error) {
 	if len(sel.Unions) == 0 {
-		return execSingleSelect(tx, db, sel, outer)
+		return execSingleSelect(tx, db, sel, outer, ec)
+	}
+	if ec != nil {
+		ec.node.Op = "union"
 	}
 	base := *sel
 	base.Unions = nil
-	res, err := execSingleSelect(tx, db, &base, outer)
+	res, err := execSingleSelect(tx, db, &base, outer, ec.branch())
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +59,7 @@ func execSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *en
 		if !u.All {
 			dedupe = true
 		}
-		part, err := execSelect(tx, db, u.Select, outer)
+		part, err := execSelectEx(tx, db, u.Select, outer, ec.branch())
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +89,7 @@ func execSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *en
 }
 
 // execSingleSelect runs one union-free SELECT branch.
-func execSingleSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env) (*Result, error) {
+func execSingleSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, outer *env, ec *explainCtx) (*Result, error) {
 	e := &env{tx: tx, db: db, parent: outer}
 	for _, ref := range sel.From {
 		src, err := bindSource(tx, db, ref)
@@ -97,6 +108,20 @@ func execSingleSelect(tx *relstore.Tx, db string, sel *sqlparser.SelectStmt, out
 	plan, err := planJoin(e, sel.Where)
 	if err != nil {
 		return nil, err
+	}
+	if ec != nil {
+		ec.describe(e, sel, plan)
+		if !ec.analyze {
+			// Plain EXPLAIN: report the plan without executing. Output
+			// columns are still computed so UNION shape checks hold.
+			cols, _, err := expandItems(e, sel)
+			if err != nil {
+				cols = nil
+			}
+			return &Result{Columns: cols}, nil
+		}
+		e.stats = newExecStats(len(e.sources))
+		defer ec.annotate(e)
 	}
 
 	// noFromRow runs the FROM-less case: one empty row, unless WHERE

@@ -151,6 +151,15 @@ type DropViewStmt struct {
 	View ObjectName
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] [FORMAT JSON] <stmt>: render the local
+// plan for Target, executing it first when Analyze is set so the plan
+// carries runtime statistics.
+type ExplainStmt struct {
+	Analyze bool
+	JSON    bool
+	Target  Statement
+}
+
 // BeginStmt, CommitStmt and RollbackStmt are local transaction control.
 type BeginStmt struct{}
 
@@ -170,6 +179,7 @@ func (*CreateDatabaseStmt) stmt() {}
 func (*DropDatabaseStmt) stmt()   {}
 func (*CreateViewStmt) stmt()     {}
 func (*DropViewStmt) stmt()       {}
+func (*ExplainStmt) stmt()        {}
 func (*BeginStmt) stmt()          {}
 func (*CommitStmt) stmt()         {}
 func (*RollbackStmt) stmt()       {}
@@ -297,6 +307,8 @@ func WalkExprs(s Statement, fn func(Expr)) {
 		walkExpr(st.Where, fn)
 	case *CreateViewStmt:
 		walkSelect(st.Query, fn)
+	case *ExplainStmt:
+		WalkExprs(st.Target, fn)
 	}
 }
 

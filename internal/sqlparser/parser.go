@@ -125,7 +125,8 @@ var reservedAfterTable = map[string]bool{
 	"ON": true, "UNION": true, "COMP": true, "VITAL": true, "INTO": true,
 	"SELECT": true, "INSERT": true, "UPDATE": true, "DELETE": true, "USE": true,
 	"LET": true, "BEGIN": true, "END": true, "COMMIT": true, "ROLLBACK": true,
-	"DESC": true, "ASC": true, "AS": true, "NOT": true, "IN": true,
+	"EXPLAIN": true,
+	"DESC":    true, "ASC": true, "AS": true, "NOT": true, "IN": true,
 	"BETWEEN": true, "LIKE": true, "IS": true,
 }
 
@@ -202,6 +203,8 @@ func (p *Parser) ParseStatement() (Statement, error) {
 		p.Next()
 		p.AcceptKeyword("WORK")
 		s = &RollbackStmt{}
+	case "EXPLAIN":
+		s, err = p.parseExplain()
 	default:
 		return nil, fmt.Errorf("unsupported statement %q", t.Text)
 	}
@@ -210,6 +213,30 @@ func (p *Parser) ParseStatement() (Statement, error) {
 	}
 	p.AcceptPunct(";")
 	return s, nil
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] [FORMAT JSON] <stmt>.
+func (p *Parser) parseExplain() (*ExplainStmt, error) {
+	if err := p.ExpectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	e := &ExplainStmt{}
+	e.Analyze = p.AcceptKeyword("ANALYZE")
+	if p.AcceptKeyword("FORMAT") {
+		if err := p.ExpectKeyword("JSON"); err != nil {
+			return nil, err
+		}
+		e.JSON = true
+	}
+	target, err := p.ParseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := target.(*ExplainStmt); nested {
+		return nil, fmt.Errorf("EXPLAIN of EXPLAIN is not supported")
+	}
+	e.Target = target
+	return e, nil
 }
 
 // ParseSelect parses a SELECT statement at the cursor.

@@ -112,6 +112,15 @@ func deparseStmt(b *strings.Builder, s Statement) {
 	case *DropViewStmt:
 		b.WriteString("DROP VIEW ")
 		b.WriteString(st.View.String())
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		if st.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+		if st.JSON {
+			b.WriteString("FORMAT JSON ")
+		}
+		deparseStmt(b, st.Target)
 	case *BeginStmt:
 		b.WriteString("BEGIN")
 	case *CommitStmt:

@@ -1,0 +1,56 @@
+package storage
+
+import "sync/atomic"
+
+// PageCounters accumulates buffer-pool traffic attributable to one
+// consumer — typically one statement's operator in an EXPLAIN ANALYZE
+// tree. The global msql_storage_pool_* counters keep aggregating across
+// the process; a PageCounters threaded through a fetch records the same
+// events for just that caller, so concurrent statements sharing a table
+// (and its pool) never bleed into each other's counts.
+//
+// Fields are atomics because a statement's operators may read from
+// multiple goroutines (parallel DOL tasks over local services share a
+// process-wide pool). The zero value is ready to use; a nil *PageCounters
+// is accepted everywhere and counts nothing.
+type PageCounters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (c *PageCounters) hit() {
+	if c != nil {
+		c.hits.Add(1)
+	}
+}
+
+func (c *PageCounters) miss() {
+	if c != nil {
+		c.misses.Add(1)
+	}
+}
+
+// Hits returns pages served from a resident frame.
+func (c *PageCounters) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns pages that had to read the backing store.
+func (c *PageCounters) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Reset zeroes both counters.
+func (c *PageCounters) Reset() {
+	if c == nil {
+		return
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

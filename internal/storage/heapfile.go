@@ -234,7 +234,13 @@ func (h *HeapFile) tryInsert(pg uint32, data []byte) (RID, bool, error) {
 
 // Read returns a copy of the tuple at rid.
 func (h *HeapFile) Read(rid RID) ([]byte, error) {
-	f, err := h.pool.Fetch(h.id, rid.Page)
+	return h.ReadCounted(rid, nil)
+}
+
+// ReadCounted is Read with pool traffic additionally recorded on pc
+// (nil-safe), attributing the page fetch to one statement's operator.
+func (h *HeapFile) ReadCounted(rid RID, pc *PageCounters) ([]byte, error) {
+	f, err := h.pool.FetchCounted(h.id, rid.Page, pc)
 	if err != nil {
 		return nil, err
 	}
@@ -297,8 +303,14 @@ func (h *HeapFile) Update(rid RID, data []byte) (RID, error) {
 // fn with each live tuple. The tuple bytes alias the pinned page and are
 // only valid during the call. fn returning false stops the scan.
 func (h *HeapFile) Scan(fn func(rid RID, data []byte) bool) error {
+	return h.ScanCounted(fn, nil)
+}
+
+// ScanCounted is Scan with pool traffic additionally recorded on pc
+// (nil-safe), attributing the page fetches to one statement's operator.
+func (h *HeapFile) ScanCounted(fn func(rid RID, data []byte) bool, pc *PageCounters) error {
 	for pg := uint32(0); pg < h.pages; pg++ {
-		f, err := h.pool.Fetch(h.id, pg)
+		f, err := h.pool.FetchCounted(h.id, pg, pc)
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,7 @@ import (
 
 	"msql/internal/admit"
 	"msql/internal/ldbms"
+	"msql/internal/obs"
 	"msql/internal/relstore"
 	"msql/internal/sqlval"
 )
@@ -135,11 +136,14 @@ func FromRelstoreColumns(cols []relstore.Column) []Column {
 	return out
 }
 
-// Result carries a query result across the wire.
+// Result carries a query result across the wire. Plan is non-nil only
+// for EXPLAIN statements; older peers drop the field silently (gob
+// ignores unknown fields in both directions).
 type Result struct {
 	Columns      []Column
 	Rows         [][]sqlval.Value
 	RowsAffected int
+	Plan         *obs.PlanNode
 }
 
 // Profile mirrors ldbms.Profile across the wire.
