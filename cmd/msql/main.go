@@ -11,6 +11,7 @@
 //	msql -autocommit-cont # continental on an autocommit-only service
 //	msql -journal mt.j -lam-journal lamj/  # durable 2PC on both sides
 //	msql -data-dir data/ -buffer-pages 256 # disk-backed service stores
+//	msql -fleet 12       # also incorporate a generated mixed-capability fleet
 //	msql -serve 127.0.0.1:7940 -max-sessions 64 -max-concurrent 8 \
 //	     -journal mt.j -group-commit-window 2ms  # concurrent coordinator
 //
@@ -41,6 +42,7 @@ import (
 	"msql/internal/mdserver"
 	"msql/internal/mtlog"
 	"msql/internal/obs"
+	"msql/internal/topology"
 	"msql/internal/translate"
 )
 
@@ -68,6 +70,11 @@ func realMain() int {
 
 		dataDir     = flag.String("data-dir", "", "persist every service's store on disk under this directory: committed work checkpoints to slotted heap files and survives restarts")
 		bufferPages = flag.Int("buffer-pages", 0, "buffer pool frames per disk-backed service store (0 = storage default); only meaningful with -data-dir")
+
+		fleetN    = flag.Int("fleet", 0, "stand up an in-process mixed-capability LAM fleet of this many sites (two-phase, DDL-autocommit, and autocommit-only csv backends) and INCORPORATE them alongside the demo federation (0 disables)")
+		fleetSeed = flag.Int64("fleet-seed", 1, "fleet layout seed; the same seed always generates the same site mix")
+		fleetCSV  = flag.Float64("fleet-csv", 0.25, "fraction of fleet sites on the flat-file csv backend with the autocommit-only profile")
+		fleetDir  = flag.String("fleet-dir", "", "directory for the fleet's participant journals and csv data (default: a temp dir removed at exit)")
 
 		serveAddr   = flag.String("serve", "", "serve the federation to concurrent remote clients on this address instead of running a shell (SIGINT shuts down)")
 		maxSessions = flag.Int("max-sessions", 0, "serve mode: connection cap; clients beyond it are answered with an overload error (0 = unlimited)")
@@ -102,6 +109,44 @@ func realMain() int {
 	}
 	if *breakerN > 0 {
 		fed.SetBreaker(lam.BreakerPolicy{Threshold: *breakerN, Cooldown: *breakerCool})
+	}
+	// The fleet comes up before any journal recovery so recovery can dial
+	// its sites, and is incorporated through the same INCORPORATE SERVICE
+	// / IMPORT DATABASE path a script would use.
+	if *fleetN > 0 {
+		dir := *fleetDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "msql-fleet-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fleet-dir:", err)
+				return 1
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet-dir:", err)
+			return 1
+		}
+		plan := topology.Generate(topology.Spec{
+			Sites: *fleetN, Seed: *fleetSeed, CSVFraction: *fleetCSV,
+		})
+		fleet, err := plan.Launch(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			return 1
+		}
+		defer fleet.Close()
+		if _, err := fed.ExecScript(fleet.Script()); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet incorporate:", err)
+			return 1
+		}
+		byProfile := map[string]int{}
+		for _, s := range fleet.Sites {
+			byProfile[s.Spec.Profile]++
+		}
+		fmt.Fprintf(os.Stderr, "fleet: %d sites incorporated (%d oracle-like 2PC, %d ingres-like, %d autocommit-only csv), journals under %s\n",
+			len(fleet.Sites), byProfile[topology.ProfileOracle], byProfile[topology.ProfileIngres],
+			byProfile[topology.ProfileAutoCommit], dir)
 	}
 	if *debugAddr != "" {
 		ln, err := obs.Serve(*debugAddr, obs.Default(), obs.DefaultTracer)

@@ -18,6 +18,7 @@ package chaos
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,9 +28,11 @@ import (
 	"sync"
 	"time"
 
+	"msql/internal/csvstore"
 	"msql/internal/lam"
 	"msql/internal/ldbms"
 	"msql/internal/mtlog"
+	"msql/internal/relstore"
 )
 
 const (
@@ -59,6 +62,18 @@ type Config struct {
 	// Boot is the bootstrap SQL establishing the deterministic base state,
 	// executed and committed before the journal is replayed.
 	Boot []string
+	// Backend selects the storage engine: "rel" (default — the full
+	// relstore engine, prepared-state replay and all) or "csv" (the
+	// flat-file store: write-through, no prepare interface).
+	Backend string
+	// Profile selects the ldbms capability profile: "oracle" (default),
+	// "ingres", "sybase", or "autocommit". A "csv" backend is normally
+	// paired with "autocommit" — the store cannot hold a prepared state.
+	Profile string
+	// Dir is the data directory for the "csv" backend; table files there
+	// survive SIGKILL and are reloaded by the next incarnation. Empty
+	// keeps the store in memory (state dies with the process).
+	Dir string
 	// TombstoneTTLMS and CompactEvery configure the server's tombstone
 	// eviction and journal compaction (zero = server defaults).
 	TombstoneTTLMS int
@@ -75,23 +90,57 @@ func ChildMain() {
 	if err := json.Unmarshal([]byte(os.Getenv(EnvConfig)), &cfg); err != nil {
 		fatal("bad config: %v", err)
 	}
-	srv := ldbms.NewServer(cfg.Service, ldbms.ProfileOracleLike(), 1)
-	if err := srv.CreateDatabase(cfg.DB); err != nil {
-		fatal("create database: %v", err)
+	var profile ldbms.Profile
+	switch cfg.Profile {
+	case "", "oracle":
+		profile = ldbms.ProfileOracleLike()
+	case "ingres":
+		profile = ldbms.ProfileIngresLike()
+	case "sybase":
+		profile = ldbms.ProfileSybaseLike()
+	case "autocommit":
+		profile = ldbms.ProfileAutoCommitOnly()
+	default:
+		fatal("unknown profile %q", cfg.Profile)
 	}
-	sess, err := srv.OpenSession(cfg.DB)
-	if err != nil {
-		fatal("open session: %v", err)
-	}
-	for _, q := range cfg.Boot {
-		if _, err := sess.Exec(q); err != nil {
-			fatal("boot %q: %v", q, err)
+	var srv *ldbms.Server
+	switch cfg.Backend {
+	case "", "rel":
+		srv = ldbms.NewServer(cfg.Service, profile, 1)
+	case "csv":
+		cs, err := csvstore.Open(cfg.Dir)
+		if err != nil {
+			fatal("open csv store: %v", err)
 		}
+		srv = ldbms.NewServerOn(cfg.Service, profile, 1, cs)
+	default:
+		fatal("unknown backend %q", cfg.Backend)
 	}
-	if err := sess.Commit(); err != nil {
-		fatal("boot commit: %v", err)
+	// A durable csv child relaunched on its data directory already holds
+	// the database — and its bootstrapped tables — on disk; only a fresh
+	// database runs the bootstrap SQL.
+	fresh := true
+	if err := srv.CreateDatabase(cfg.DB); err != nil {
+		if !errors.Is(err, csvstore.ErrExists) && !errors.Is(err, relstore.ErrDBExists) {
+			fatal("create database: %v", err)
+		}
+		fresh = false
 	}
-	sess.Close()
+	if fresh {
+		sess, err := srv.OpenSession(cfg.DB)
+		if err != nil {
+			fatal("open session: %v", err)
+		}
+		for _, q := range cfg.Boot {
+			if _, err := sess.Exec(q); err != nil {
+				fatal("boot %q: %v", q, err)
+			}
+		}
+		if err := sess.Commit(); err != nil {
+			fatal("boot commit: %v", err)
+		}
+		sess.Close()
+	}
 
 	j, err := mtlog.OpenParticipant(cfg.Journal)
 	if err != nil {

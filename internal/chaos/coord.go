@@ -30,6 +30,11 @@ type CoordSite struct {
 	Service string
 	DB      string
 	Addr    string
+	// AutoCommitOnly marks a site without a prepare interface (the csv
+	// backend, or any !TwoPC profile): the coordinator incorporates it
+	// COMMITMODE COMMIT — the federation rejects NOCOMMIT declarations
+	// for such products at INCORPORATE time.
+	AutoCommitOnly bool
 }
 
 // CoordConfig describes one coordinator child process.
@@ -94,8 +99,12 @@ func CoordMain() {
 		if err != nil {
 			fatalCoord("dial %s at %s: %v", s.Service, s.Addr, err)
 		}
-		fmt.Fprintf(&setup, "INCORPORATE SERVICE %s SITE '%s' CONNECTMODE CONNECT COMMITMODE NOCOMMIT;\n",
-			s.Service, s.Addr)
+		mode := "NOCOMMIT"
+		if s.AutoCommitOnly {
+			mode = "COMMIT"
+		}
+		fmt.Fprintf(&setup, "INCORPORATE SERVICE %s SITE '%s' CONNECTMODE CONNECT COMMITMODE %s;\n",
+			s.Service, s.Addr, mode)
 		fmt.Fprintf(&setup, "IMPORT DATABASE %s FROM SERVICE %s;\n", s.DB, s.Service)
 		fed.RegisterClient(s.Addr, client)
 	}

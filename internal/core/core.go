@@ -42,6 +42,14 @@ import (
 var (
 	ErrNoClient    = errors.New("core: no client registered for site")
 	ErrUnsupported = errors.New("core: unsupported at the multidatabase level")
+	// ErrCapability rejects an INCORPORATE SERVICE declaration the
+	// service's live capability profile contradicts — most importantly
+	// COMMITMODE NOCOMMIT on a product that cannot prepare. Catching the
+	// lie up front matters for presumed abort: a site without a 2PC
+	// interface can never answer for a prepared session, so a
+	// misdeclared profile would park multitransactions in-doubt forever
+	// instead of failing their first synchronization cleanly.
+	ErrCapability = errors.New("core: INCORPORATE declaration contradicts service capabilities")
 )
 
 // Facade metrics (see DESIGN.md §8).
@@ -397,6 +405,64 @@ func (f *Federation) Resolve(site string) (lam.Client, error) {
 		return client, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNoClient, site)
+}
+
+// liveProfile fetches the capability profile behind a service entry
+// when a client is already registered (under the service or site name)
+// or the site is dialable. ok=false means no client could be reached —
+// the declaration is then taken on trust, as the AD always did before
+// runtime registration existed.
+func (f *Federation) liveProfile(ctx context.Context, entry catalog.ServiceEntry) (ldbms.Profile, bool) {
+	f.mu.Lock()
+	c, found := f.clients[entry.Name]
+	if !found && entry.Site != "" {
+		c, found = f.clients[entry.Site]
+	}
+	f.mu.Unlock()
+	if !found && entry.Site != "" && strings.Contains(entry.Site, ":") {
+		rc, err := f.Resolve(entry.Site)
+		if err != nil {
+			return ldbms.Profile{}, false
+		}
+		c = rc
+	}
+	if c == nil {
+		return ldbms.Profile{}, false
+	}
+	p, err := c.Profile(ctx)
+	if err != nil {
+		return ldbms.Profile{}, false
+	}
+	return p, true
+}
+
+// checkIncorporate validates an INCORPORATE declaration against the
+// service's live profile and folds undeclared autocommit classes into
+// the entry. A service declared COMMITMODE NOCOMMIT whose product
+// cannot prepare is rejected with ErrCapability: under presumed abort
+// such a site could never resolve a parked session, so it must refuse
+// the 2PC role up front. Autocommit classes the profile reports (the
+// Ingres DDL quirk) are merged into DDLCommit so the translator demands
+// compensation even when the administrator's declaration missed them.
+func (f *Federation) checkIncorporate(ctx context.Context, entry *catalog.ServiceEntry) error {
+	p, ok := f.liveProfile(ctx, *entry)
+	if !ok {
+		return nil
+	}
+	if !entry.AutoCommitOnly && !p.TwoPC {
+		return fmt.Errorf("%w: service %s declared COMMITMODE NOCOMMIT but product %q has no prepare interface (%w); incorporate it with COMMITMODE COMMIT",
+			ErrCapability, entry.Name, p.Name, ldbms.ErrNoTwoPC)
+	}
+	for class, on := range p.AutoCommitClasses {
+		if !on {
+			continue
+		}
+		if entry.DDLCommit == nil {
+			entry.DDLCommit = make(map[string]bool)
+		}
+		entry.DDLCommit[class.String()] = true
+	}
+	return nil
 }
 
 // clientFor returns the LAM client of an incorporated service.

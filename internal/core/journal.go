@@ -248,6 +248,13 @@ func compOwed(meta *translate.Meta, out *dolengine.Outcome) bool {
 	return false
 }
 
+// recoverFanout bounds how many remote participants or sites a recovery
+// sweep contacts concurrently. At fleet scale a serial sweep is
+// dominated by the slowest unreachable site's full backoff sequence;
+// fanning out keeps the sweep's wall time near one site's worth while
+// the jittered RetryPolicy backoff decorrelates the retry instants.
+const recoverFanout = 16
+
 // RecoveryReport summarizes one journal recovery pass.
 type RecoveryReport struct {
 	// Multitransactions counts the journaled multitransactions that were
@@ -293,6 +300,17 @@ func (f *Federation) Recover(ctx context.Context) (*RecoveryReport, error) {
 
 		// Prepared participants without a terminal outcome hold locks at
 		// their LAM: deliver the logged decision, presumed abort otherwise.
+		// Remote resolutions fan out in parallel — one unreachable site's
+		// backoff sequence must not serialize the sweep — and the journal
+		// appends happen serially afterward, in deterministic order.
+		type resolveJob struct {
+			task   string
+			p      Participant
+			commit bool
+			st     ldbms.SessionState
+			err    error
+		}
+		var jobs []*resolveJob
 		for task, prec := range s.Prepared {
 			if _, done := s.Outcomes[task]; done {
 				continue
@@ -309,19 +327,32 @@ func (f *Federation) Recover(ctx context.Context) (*RecoveryReport, error) {
 			if d, ok := s.Decl(task); ok {
 				p.Entry, p.Database = d.Entry, d.Database
 			}
-			st, rerr := f.resolveParticipant(ctx, prec.Addr, prec.SessionID, commit)
-			if rerr != nil {
+			jobs = append(jobs, &resolveJob{task: task, p: p, commit: commit})
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, recoverFanout)
+		for _, jb := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(jb *resolveJob) {
+				defer func() { <-sem; wg.Done() }()
+				jb.st, jb.err = f.resolveParticipant(ctx, jb.p.Addr, jb.p.SessionID, jb.commit)
+			}(jb)
+		}
+		wg.Wait()
+		for _, jb := range jobs {
+			if jb.err != nil {
 				clean = false
-				rep.Unreachable = append(rep.Unreachable, p)
+				rep.Unreachable = append(rep.Unreachable, jb.p)
 				continue
 			}
 			u := mtlog.StatusAborted
-			if st == ldbms.StateCommitted {
+			if jb.st == ldbms.StateCommitted {
 				u = mtlog.StatusCommitted
 			}
-			f.appendOutcome(s.MTID, task, u)
-			s.Outcomes[task] = u
-			rep.Resolved = append(rep.Resolved, p)
+			f.appendOutcome(s.MTID, jb.task, u)
+			s.Outcomes[jb.task] = u
+			rep.Resolved = append(rep.Resolved, jb.p)
 		}
 
 		// Compensations owed: the unit went the abort way (no commit
@@ -413,30 +444,56 @@ func (f *Federation) RecoverOrphans(ctx context.Context) ([]Participant, error) 
 			covered[prec.Addr+"#"+strconv.FormatInt(prec.SessionID, 10)] = true
 		}
 	}
-	var swept []Participant
-	var lastErr error
+	// Sites are swept in parallel: each goroutine queries one site's
+	// parked sessions and resolves its orphans, so a single dark site's
+	// retry backoff does not stall the fleet-wide sweep. Duplicate sites
+	// (several services incorporated at one address) are visited once.
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, recoverFanout)
+		mu      sync.Mutex
+		swept   []Participant
+		lastErr error
+	)
+	visited := make(map[string]bool)
 	for _, name := range f.AD.Names() {
 		e, err := f.AD.Lookup(name)
 		if err != nil || e.Site == "" {
 			continue // in-process service: its sessions died with us
 		}
-		sessions, ierr := lam.InDoubtSessions(ctx, e.Site)
-		if ierr != nil {
-			lastErr = ierr
+		if visited[e.Site] {
 			continue
 		}
-		for _, d := range sessions {
-			if covered[e.Site+"#"+strconv.FormatInt(d.SessionID, 10)] {
-				continue // an open multitransaction owns it; Recover's job
+		visited[e.Site] = true
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(site string) {
+			defer func() { <-sem; wg.Done() }()
+			sessions, ierr := lam.InDoubtSessions(ctx, site)
+			if ierr != nil {
+				mu.Lock()
+				lastErr = ierr
+				mu.Unlock()
+				return
 			}
-			if _, rerr := f.resolveParticipant(ctx, e.Site, d.SessionID, false); rerr != nil {
-				lastErr = rerr
-				continue
+			for _, d := range sessions {
+				if covered[site+"#"+strconv.FormatInt(d.SessionID, 10)] {
+					continue // an open multitransaction owns it; Recover's job
+				}
+				if _, rerr := f.resolveParticipant(ctx, site, d.SessionID, false); rerr != nil {
+					mu.Lock()
+					lastErr = rerr
+					mu.Unlock()
+					continue
+				}
+				f.ackParticipants([]Participant{{Addr: site, SessionID: d.SessionID}})
+				mu.Lock()
+				swept = append(swept, Participant{Addr: site, SessionID: d.SessionID})
+				mu.Unlock()
 			}
-			f.ackParticipants([]Participant{{Addr: e.Site, SessionID: d.SessionID}})
-			swept = append(swept, Participant{Addr: e.Site, SessionID: d.SessionID})
-		}
+		}(e.Site)
 	}
+	wg.Wait()
 	return swept, lastErr
 }
 

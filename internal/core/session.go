@@ -260,13 +260,17 @@ func (s *Session) execStmt(ctx context.Context, stmt msqlparser.Stmt) ([]*Result
 		return resultList(sync, r), err
 
 	case *msqlparser.IncorporateStmt:
-		f.AD.Incorporate(catalog.ServiceEntry{
+		entry := catalog.ServiceEntry{
 			Name:           st.Service,
 			Site:           st.Site,
 			Connect:        st.Connect,
 			AutoCommitOnly: st.AutoCommitOnly,
 			DDLCommit:      st.DDLCommit,
-		})
+		}
+		if err := f.checkIncorporate(ctx, &entry); err != nil {
+			return nil, err
+		}
+		f.AD.Incorporate(entry)
 		return resultList(&Result{Kind: KindIncorporate}), nil
 
 	case *msqlparser.ImportStmt:

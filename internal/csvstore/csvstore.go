@@ -1,0 +1,373 @@
+// Package csvstore is a flat-file storage engine: databases are
+// directories, tables are CSV files with a typed header row, and the
+// whole committed state of a table is rewritten (atomically, via
+// tmp+rename) when a transaction touching it commits.
+//
+// It exists to be *unlike* relstore. The paper's federation incorporates
+// database products of very different sophistication, and its §3.3
+// compensation semantics are motivated by products that cannot hold a
+// prepared-to-commit state: csvstore is that product. It has no
+// write-ahead log, no locks, no prepare support — Prepare always fails —
+// and transactions are copy-on-write snapshots with last-writer-wins
+// visibility. Behind ldbms.ProfileAutoCommitOnly (COMMITMODE COMMIT)
+// every statement commits immediately, which is the only mode the
+// engine is honest about.
+//
+// The SQL surface is the subset a federation ships to a leaf site:
+// CREATE/DROP TABLE, INSERT ... VALUES, single- and multi-table SELECT
+// (nested-loop joins, WHERE, ORDER BY, LIMIT, DISTINCT, ungrouped
+// aggregates), UPDATE and DELETE. Views, GROUP BY, UNION and subqueries
+// are not supported and fail with ErrUnsupported.
+package csvstore
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlval"
+)
+
+// Engine errors. ErrNoTable/ErrNoDatabase reuse the relstore sentinels
+// so the wire protocol's error taxonomy (and everything the coordinator
+// branches on) is backend-agnostic.
+var (
+	ErrNoPrepare   = errors.New("csvstore: backend cannot prepare")
+	ErrUnsupported = errors.New("csvstore: unsupported SQL for this backend")
+	ErrExists      = errors.New("csvstore: object already exists")
+)
+
+// nullMark encodes SQL NULL in a CSV cell.
+const nullMark = `\N`
+
+// table is one committed table image. Committed tables are immutable:
+// writers stage deep copies and swap whole *table pointers at commit, so
+// concurrent readers keep a consistent snapshot without locks.
+type table struct {
+	cols []relstore.Column
+	rows [][]sqlval.Value
+}
+
+type database struct {
+	tables map[string]*table
+}
+
+// Store is one CSV engine instance. A non-empty dir makes it
+// file-backed: every commit rewrites the touched tables' files.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	dbs map[string]*database
+}
+
+// Open creates a store rooted at dir, loading any databases a previous
+// process left there. An empty dir keeps the store memory-only.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, dbs: make(map[string]*database)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		db := &database{tables: make(map[string]*table)}
+		files, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".csv") {
+				continue
+			}
+			t, err := loadTable(filepath.Join(dir, e.Name(), f.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("csvstore: load %s/%s: %w", e.Name(), f.Name(), err)
+			}
+			db.tables[strings.TrimSuffix(f.Name(), ".csv")] = t
+		}
+		s.dbs[e.Name()] = db
+	}
+	return s, nil
+}
+
+// Dir returns the data directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// CreateDatabase implements backend.Backend.
+func (s *Store) CreateDatabase(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[name]; ok {
+		return fmt.Errorf("%w: database %s", ErrExists, name)
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(filepath.Join(s.dir, name), 0o755); err != nil {
+			return err
+		}
+	}
+	s.dbs[name] = &database{tables: make(map[string]*table)}
+	return nil
+}
+
+// DatabaseNames implements backend.Backend.
+func (s *Store) DatabaseNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasDatabase implements backend.Backend.
+func (s *Store) HasDatabase(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.dbs[name]
+	return ok
+}
+
+// ListTables implements backend.Backend.
+func (s *Store) ListTables(db string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", relstore.ErrNoDatabase, db)
+	}
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ListViews implements backend.Backend; the engine has no views.
+func (s *Store) ListViews(db string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[db]; !ok {
+		return nil, fmt.Errorf("%w: %s", relstore.ErrNoDatabase, db)
+	}
+	return nil, nil
+}
+
+// Durable implements backend.Backend. Commits write through to the CSV
+// files themselves, so there is no separate checkpoint step.
+func (s *Store) Durable() bool { return false }
+
+// Checkpoint implements backend.Backend (write-through engine: no-op).
+func (s *Store) Checkpoint() error { return nil }
+
+// Close implements backend.Backend (nothing held open between commits).
+func (s *Store) Close() error { return nil }
+
+// lookup returns the committed image of db.table.
+func (s *Store) lookup(db, name string) (*table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.dbs[db]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", relstore.ErrNoDatabase, db)
+	}
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, db, name)
+	}
+	return t, nil
+}
+
+// clone deep-copies a table image for copy-on-write staging.
+func (t *table) clone() *table {
+	c := &table{cols: append([]relstore.Column(nil), t.cols...)}
+	c.rows = make([][]sqlval.Value, len(t.rows))
+	for i, r := range t.rows {
+		c.rows[i] = append([]sqlval.Value(nil), r...)
+	}
+	return c
+}
+
+// ---- CSV encoding ----
+
+func encodeColumn(c relstore.Column) string {
+	typ := c.Type.String()
+	if c.Type == sqlval.KindString && c.Width > 0 {
+		typ = fmt.Sprintf("CHAR(%d)", c.Width)
+	}
+	if c.Key {
+		return c.Name + ":" + typ + ":key"
+	}
+	return c.Name + ":" + typ
+}
+
+func decodeColumn(s string) (relstore.Column, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return relstore.Column{}, fmt.Errorf("csvstore: bad column header %q", s)
+	}
+	c := relstore.Column{Name: parts[0]}
+	typ := parts[1]
+	if strings.HasPrefix(typ, "CHAR(") && strings.HasSuffix(typ, ")") {
+		w, err := strconv.Atoi(typ[5 : len(typ)-1])
+		if err != nil {
+			return relstore.Column{}, fmt.Errorf("csvstore: bad column header %q", s)
+		}
+		c.Type, c.Width = sqlval.KindString, w
+	} else {
+		switch typ {
+		case "INTEGER":
+			c.Type = sqlval.KindInt
+		case "FLOAT":
+			c.Type = sqlval.KindFloat
+		case "CHAR":
+			c.Type = sqlval.KindString
+		case "BOOLEAN":
+			c.Type = sqlval.KindBool
+		default:
+			return relstore.Column{}, fmt.Errorf("csvstore: bad column type %q", typ)
+		}
+	}
+	c.Key = len(parts) > 2 && parts[2] == "key"
+	return c, nil
+}
+
+func encodeCell(v sqlval.Value) string {
+	if v.IsNull() {
+		return nullMark
+	}
+	return v.String()
+}
+
+func decodeCell(s string, kind sqlval.Kind) (sqlval.Value, error) {
+	if s == nullMark {
+		return sqlval.Null(), nil
+	}
+	switch kind {
+	case sqlval.KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		return sqlval.Int(i), nil
+	case sqlval.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		return sqlval.Float(f), nil
+	case sqlval.KindBool:
+		return sqlval.Bool(s == "TRUE"), nil
+	default:
+		return sqlval.Str(s), nil
+	}
+}
+
+func loadTable(path string) (*table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, errors.New("csvstore: missing header row")
+	}
+	t := &table{}
+	for _, h := range records[0] {
+		c, err := decodeColumn(h)
+		if err != nil {
+			return nil, err
+		}
+		t.cols = append(t.cols, c)
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(t.cols) {
+			return nil, fmt.Errorf("csvstore: row has %d cells, want %d", len(rec), len(t.cols))
+		}
+		row := make([]sqlval.Value, len(rec))
+		for i, cell := range rec {
+			v, err := decodeCell(cell, t.cols[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}
+
+// removeFile deletes a table file, tolerating its absence (the table
+// may never have been committed to disk).
+func removeFile(path string) error {
+	err := os.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// writeTable persists one table image atomically (tmp + rename).
+func writeTable(path string, t *table) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	header := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		header[i] = encodeColumn(c)
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	cells := make([]string, len(t.cols))
+	for _, row := range t.rows {
+		for i, v := range row {
+			cells[i] = encodeCell(v)
+		}
+		if err := w.Write(cells); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,313 @@
+package csvstore
+
+import (
+	"fmt"
+	"strings"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// colEnv is the joint column namespace of a statement: the columns of
+// every FROM table concatenated in order, each with the qualifier (alias
+// or table name) it answers to.
+type colEnv struct {
+	cols  []relstore.Column
+	quals []string // alias or table name per column
+	dbs   []string // owning database per column
+}
+
+func (e *colEnv) add(db, name, alias string, img *table) {
+	q := alias
+	if q == "" {
+		q = name
+	}
+	for _, c := range img.cols {
+		e.cols = append(e.cols, c)
+		e.quals = append(e.quals, q)
+		e.dbs = append(e.dbs, db)
+	}
+}
+
+// envForTable builds the environment of a single-table statement.
+func envForTable(db, name, alias string, img *table) *colEnv {
+	e := &colEnv{}
+	e.add(db, name, alias, img)
+	return e
+}
+
+// resolve maps a column reference to its joint-row index.
+func (e *colEnv) resolve(cr sqlparser.ColRef) (int, error) {
+	var qual, db, col string
+	switch len(cr.Parts) {
+	case 1:
+		col = cr.Parts[0]
+	case 2:
+		qual, col = cr.Parts[0], cr.Parts[1]
+	case 3:
+		db, qual, col = cr.Parts[0], cr.Parts[1], cr.Parts[2]
+	default:
+		return 0, fmt.Errorf("csvstore: bad column reference %q", cr.Name())
+	}
+	found := -1
+	for i, c := range e.cols {
+		if !strings.EqualFold(c.Name, col) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(e.quals[i], qual) {
+			continue
+		}
+		if db != "" && !strings.EqualFold(e.dbs[i], db) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("csvstore: ambiguous column %q", cr.Name())
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("csvstore: unknown column %q", cr.Name())
+	}
+	return found, nil
+}
+
+// truthyWhere evaluates an optional WHERE clause against a joint row.
+func truthyWhere(env *colEnv, row []sqlval.Value, where sqlparser.Expr) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	v, err := evalExpr(env, row, where)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// evalExpr evaluates the engine's expression subset. env/row may be nil
+// for constant expressions (INSERT values).
+func evalExpr(env *colEnv, row []sqlval.Value, e sqlparser.Expr) (sqlval.Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return x.Val, nil
+	case sqlparser.ColRef:
+		if env == nil {
+			return sqlval.Value{}, fmt.Errorf("csvstore: column %q in constant context", x.Name())
+		}
+		idx, err := env.resolve(x)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		return row[idx], nil
+	case *sqlparser.BinaryExpr:
+		return evalBinary(env, row, x)
+	case *sqlparser.UnaryExpr:
+		v, err := evalExpr(env, row, x.X)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			switch v.K {
+			case sqlval.KindInt:
+				return sqlval.Int(-v.I), nil
+			case sqlval.KindFloat:
+				return sqlval.Float(-v.F), nil
+			case sqlval.KindNull:
+				return sqlval.Null(), nil
+			}
+			return sqlval.Value{}, fmt.Errorf("csvstore: cannot negate %s", v.K)
+		case "NOT":
+			if v.IsNull() {
+				return sqlval.Null(), nil
+			}
+			return sqlval.Bool(!v.Truthy()), nil
+		}
+		return sqlval.Value{}, fmt.Errorf("%w: unary %s", ErrUnsupported, x.Op)
+	case *sqlparser.IsNullExpr:
+		v, err := evalExpr(env, row, x.X)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		return sqlval.Bool(v.IsNull() != x.Not), nil
+	case *sqlparser.BetweenExpr:
+		v, err := evalExpr(env, row, x.X)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		lo, err := evalExpr(env, row, x.Lo)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		hi, err := evalExpr(env, row, x.Hi)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		cl, ok1 := sqlval.Compare(v, lo)
+		ch, ok2 := sqlval.Compare(v, hi)
+		if !ok1 || !ok2 {
+			return sqlval.Null(), nil
+		}
+		in := cl >= 0 && ch <= 0
+		return sqlval.Bool(in != x.Not), nil
+	case *sqlparser.InExpr:
+		if x.Query != nil {
+			return sqlval.Value{}, fmt.Errorf("%w: IN (subquery)", ErrUnsupported)
+		}
+		v, err := evalExpr(env, row, x.X)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		for _, le := range x.List {
+			lv, err := evalExpr(env, row, le)
+			if err != nil {
+				return sqlval.Value{}, err
+			}
+			if sqlval.Equal(v, lv) {
+				return sqlval.Bool(!x.Not), nil
+			}
+		}
+		return sqlval.Bool(x.Not), nil
+	case *sqlparser.LikeExpr:
+		v, err := evalExpr(env, row, x.X)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		p, err := evalExpr(env, row, x.Pattern)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return sqlval.Null(), nil
+		}
+		return sqlval.Bool(likeMatch(v.String(), p.String()) != x.Not), nil
+	default:
+		return sqlval.Value{}, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
+	}
+}
+
+func evalBinary(env *colEnv, row []sqlval.Value, x *sqlparser.BinaryExpr) (sqlval.Value, error) {
+	// AND/OR short-circuit on the left operand.
+	switch x.Op {
+	case "AND":
+		l, err := evalExpr(env, row, x.L)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		if !l.IsNull() && !l.Truthy() {
+			return sqlval.Bool(false), nil
+		}
+		r, err := evalExpr(env, row, x.R)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		if !r.IsNull() && !r.Truthy() {
+			return sqlval.Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null(), nil
+		}
+		return sqlval.Bool(true), nil
+	case "OR":
+		l, err := evalExpr(env, row, x.L)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		if l.Truthy() {
+			return sqlval.Bool(true), nil
+		}
+		r, err := evalExpr(env, row, x.R)
+		if err != nil {
+			return sqlval.Value{}, err
+		}
+		if r.Truthy() {
+			return sqlval.Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null(), nil
+		}
+		return sqlval.Bool(false), nil
+	}
+	l, err := evalExpr(env, row, x.L)
+	if err != nil {
+		return sqlval.Value{}, err
+	}
+	r, err := evalExpr(env, row, x.R)
+	if err != nil {
+		return sqlval.Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, ok := sqlval.Compare(l, r)
+		if !ok {
+			return sqlval.Null(), nil
+		}
+		switch x.Op {
+		case "=":
+			return sqlval.Bool(c == 0), nil
+		case "<>":
+			return sqlval.Bool(c != 0), nil
+		case "<":
+			return sqlval.Bool(c < 0), nil
+		case "<=":
+			return sqlval.Bool(c <= 0), nil
+		case ">":
+			return sqlval.Bool(c > 0), nil
+		default:
+			return sqlval.Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null(), nil
+		}
+		if l.K == sqlval.KindInt && r.K == sqlval.KindInt && x.Op != "/" {
+			switch x.Op {
+			case "+":
+				return sqlval.Int(l.I + r.I), nil
+			case "-":
+				return sqlval.Int(l.I - r.I), nil
+			default:
+				return sqlval.Int(l.I * r.I), nil
+			}
+		}
+		lf, ok1 := l.AsFloat()
+		rf, ok2 := r.AsFloat()
+		if !ok1 || !ok2 {
+			return sqlval.Value{}, fmt.Errorf("csvstore: non-numeric operand for %s", x.Op)
+		}
+		switch x.Op {
+		case "+":
+			return sqlval.Float(lf + rf), nil
+		case "-":
+			return sqlval.Float(lf - rf), nil
+		case "*":
+			return sqlval.Float(lf * rf), nil
+		default:
+			if rf == 0 {
+				return sqlval.Value{}, fmt.Errorf("csvstore: division by zero")
+			}
+			return sqlval.Float(lf / rf), nil
+		}
+	}
+	return sqlval.Value{}, fmt.Errorf("%w: operator %s", ErrUnsupported, x.Op)
+}
+
+// likeMatch implements SQL LIKE ('%' any run, '_' any single rune).
+func likeMatch(s, pattern string) bool {
+	if pattern == "" {
+		return s == ""
+	}
+	switch pattern[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeMatch(s[i:], pattern[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeMatch(s[1:], pattern[1:])
+	default:
+		return s != "" && s[0] == pattern[0] && likeMatch(s[1:], pattern[1:])
+	}
+}

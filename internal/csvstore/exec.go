@@ -1,0 +1,442 @@
+package csvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlparser"
+	"msql/internal/sqlval"
+)
+
+// exec dispatches one parsed statement against the transaction.
+func (t *Tx) exec(db string, stmt sqlparser.Statement) (*sqlengine.Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return t.execSelect(db, s)
+	case *sqlparser.InsertStmt:
+		return t.execInsert(db, s)
+	case *sqlparser.UpdateStmt:
+		return t.execUpdate(db, s)
+	case *sqlparser.DeleteStmt:
+		return t.execDelete(db, s)
+	case *sqlparser.CreateTableStmt:
+		return t.execCreateTable(db, s)
+	case *sqlparser.DropTableStmt:
+		return t.execDropTable(db, s)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+func splitName(db string, n sqlparser.ObjectName) (string, string) {
+	if len(n.Parts) >= 2 {
+		return n.Parts[0], n.Parts[1]
+	}
+	return db, n.Last()
+}
+
+func (t *Tx) execCreateTable(db string, s *sqlparser.CreateTableStmt) (*sqlengine.Result, error) {
+	tdb, name := splitName(db, s.Table)
+	if !t.s.HasDatabase(tdb) {
+		return nil, fmt.Errorf("%w: %s", relstore.ErrNoDatabase, tdb)
+	}
+	if _, err := t.read(tdb, name); err == nil {
+		return nil, fmt.Errorf("%w: table %s.%s", ErrExists, tdb, name)
+	}
+	cols := make([]relstore.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = relstore.Column{Name: c.Name, Type: c.Type, Width: c.Width, Key: c.Key}
+	}
+	t.stage(tdb, name, &table{cols: cols})
+	return &sqlengine.Result{}, nil
+}
+
+func (t *Tx) execDropTable(db string, s *sqlparser.DropTableStmt) (*sqlengine.Result, error) {
+	tdb, name := splitName(db, s.Table)
+	if _, err := t.read(tdb, name); err != nil {
+		if s.IfExists && errors.Is(err, relstore.ErrNoTable) {
+			return &sqlengine.Result{}, nil
+		}
+		return nil, err
+	}
+	t.stage(tdb, name, nil)
+	return &sqlengine.Result{}, nil
+}
+
+func (t *Tx) execInsert(db string, s *sqlparser.InsertStmt) (*sqlengine.Result, error) {
+	if s.Query != nil {
+		return nil, fmt.Errorf("%w: INSERT ... SELECT", ErrUnsupported)
+	}
+	tdb, name := splitName(db, s.Table)
+	img, err := t.write(tdb, name)
+	if err != nil {
+		return nil, err
+	}
+	// Map the statement's column list (or positional order) onto the
+	// table's columns.
+	target := make([]int, 0, len(img.cols))
+	if len(s.Columns) == 0 {
+		for i := range img.cols {
+			target = append(target, i)
+		}
+	} else {
+		for _, cn := range s.Columns {
+			idx := -1
+			for i, c := range img.cols {
+				if c.Name == cn {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("csvstore: unknown column %q in %s.%s", cn, tdb, name)
+			}
+			target = append(target, idx)
+		}
+	}
+	for _, exprs := range s.Rows {
+		if len(exprs) != len(target) {
+			return nil, fmt.Errorf("csvstore: %d values for %d columns", len(exprs), len(target))
+		}
+		row := make([]sqlval.Value, len(img.cols))
+		for i, e := range exprs {
+			v, err := evalExpr(nil, nil, e)
+			if err != nil {
+				return nil, err
+			}
+			row[target[i]] = coerce(v, img.cols[target[i]].Type)
+		}
+		img.rows = append(img.rows, row)
+	}
+	return &sqlengine.Result{RowsAffected: len(s.Rows)}, nil
+}
+
+// coerce aligns a value with the column's declared type where a lossless
+// conversion exists (integer literals into FLOAT columns); anything else
+// is stored as written — a flat-file engine does not validate hard.
+func coerce(v sqlval.Value, kind sqlval.Kind) sqlval.Value {
+	if v.K == sqlval.KindInt && kind == sqlval.KindFloat {
+		return sqlval.Float(float64(v.I))
+	}
+	return v
+}
+
+func (t *Tx) execUpdate(db string, s *sqlparser.UpdateStmt) (*sqlengine.Result, error) {
+	tdb, name := splitName(db, s.Table)
+	img, err := t.write(tdb, name)
+	if err != nil {
+		return nil, err
+	}
+	env := envForTable(tdb, name, "", img)
+	// Resolve assignment targets once.
+	targets := make([]int, len(s.Assigns))
+	for i, a := range s.Assigns {
+		idx, err := env.resolve(a.Column)
+		if err != nil {
+			return nil, err
+		}
+		targets[i] = idx
+	}
+	n := 0
+	for _, row := range img.rows {
+		ok, err := truthyWhere(env, row, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for i, a := range s.Assigns {
+			v, err := evalExpr(env, row, a.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row[targets[i]] = coerce(v, img.cols[targets[i]].Type)
+		}
+		n++
+	}
+	return &sqlengine.Result{RowsAffected: n}, nil
+}
+
+func (t *Tx) execDelete(db string, s *sqlparser.DeleteStmt) (*sqlengine.Result, error) {
+	tdb, name := splitName(db, s.Table)
+	img, err := t.write(tdb, name)
+	if err != nil {
+		return nil, err
+	}
+	env := envForTable(tdb, name, "", img)
+	kept := img.rows[:0]
+	n := 0
+	for _, row := range img.rows {
+		ok, err := truthyWhere(env, row, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	img.rows = kept
+	return &sqlengine.Result{RowsAffected: n}, nil
+}
+
+func (t *Tx) execSelect(db string, s *sqlparser.SelectStmt) (*sqlengine.Result, error) {
+	switch {
+	case len(s.Unions) > 0:
+		return nil, fmt.Errorf("%w: UNION", ErrUnsupported)
+	case len(s.GroupBy) > 0 || s.Having != nil:
+		return nil, fmt.Errorf("%w: GROUP BY / HAVING", ErrUnsupported)
+	case len(s.From) == 0:
+		return nil, fmt.Errorf("%w: SELECT without FROM", ErrUnsupported)
+	}
+	// Bind FROM tables and build the joint column environment.
+	env := &colEnv{}
+	var tables []*table
+	for _, ref := range s.From {
+		tdb, name := splitName(db, ref.Name)
+		img, err := t.read(tdb, name)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, img)
+		env.add(tdb, name, ref.Alias, img)
+	}
+	// Nested-loop cross product filtered by WHERE.
+	var matched [][]sqlval.Value
+	joint := make([]sqlval.Value, 0, len(env.cols))
+	var loop func(level int) error
+	loop = func(level int) error {
+		if level == len(tables) {
+			ok, err := truthyWhere(env, joint, s.Where)
+			if err != nil {
+				return err
+			}
+			if ok {
+				matched = append(matched, append([]sqlval.Value(nil), joint...))
+			}
+			return nil
+		}
+		for _, row := range tables[level].rows {
+			joint = append(joint, row...)
+			if err := loop(level + 1); err != nil {
+				return err
+			}
+			joint = joint[:len(joint)-len(row)]
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+
+	if hasAggregate(s.Items) {
+		return aggregate(env, matched, s.Items)
+	}
+
+	// ORDER BY before projection so sort keys may reference any column.
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(matched, func(i, j int) bool {
+			for _, o := range s.OrderBy {
+				vi, err := evalExpr(env, matched[i], o.Expr)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				vj, err := evalExpr(env, matched[j], o.Expr)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				c := sqlval.SortCompare(vi, vj)
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	res := &sqlengine.Result{}
+	proj, err := projection(env, s.Items)
+	if err != nil {
+		return nil, err
+	}
+	res.Columns = proj.cols
+	seen := make(map[string]bool)
+	for _, row := range matched {
+		out, err := proj.apply(env, row)
+		if err != nil {
+			return nil, err
+		}
+		if s.Distinct {
+			key := ""
+			for _, v := range out {
+				key += v.GroupKey() + "|"
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, out)
+		if s.Limit >= 0 && len(res.Rows) >= s.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// projector maps a joint row to output columns.
+type projector struct {
+	cols  []sqlengine.ResultCol
+	exprs []sqlparser.Expr // nil entry = direct column index
+	idxs  []int
+}
+
+func projection(env *colEnv, items []sqlparser.SelectItem) (*projector, error) {
+	p := &projector{}
+	for _, it := range items {
+		if it.Star {
+			for i, c := range env.cols {
+				if it.Qualifier != "" && env.quals[i] != it.Qualifier {
+					continue
+				}
+				p.cols = append(p.cols, sqlengine.ResultCol{Name: c.Name, Type: c.Type})
+				p.exprs = append(p.exprs, nil)
+				p.idxs = append(p.idxs, i)
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(sqlparser.ColRef); ok {
+				name = cr.Last()
+			} else {
+				name = sqlparser.DeparseExpr(it.Expr)
+			}
+		}
+		if cr, ok := it.Expr.(sqlparser.ColRef); ok {
+			idx, err := env.resolve(cr)
+			if err != nil {
+				return nil, err
+			}
+			p.cols = append(p.cols, sqlengine.ResultCol{Name: name, Type: env.cols[idx].Type})
+			p.exprs = append(p.exprs, nil)
+			p.idxs = append(p.idxs, idx)
+			continue
+		}
+		p.cols = append(p.cols, sqlengine.ResultCol{Name: name})
+		p.exprs = append(p.exprs, it.Expr)
+		p.idxs = append(p.idxs, -1)
+	}
+	return p, nil
+}
+
+func (p *projector) apply(env *colEnv, row []sqlval.Value) ([]sqlval.Value, error) {
+	out := make([]sqlval.Value, len(p.cols))
+	for i := range p.cols {
+		if p.exprs[i] == nil {
+			out[i] = row[p.idxs[i]]
+			continue
+		}
+		v, err := evalExpr(env, row, p.exprs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func hasAggregate(items []sqlparser.SelectItem) bool {
+	for _, it := range items {
+		if _, ok := it.Expr.(*sqlparser.FuncCall); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregate evaluates ungrouped aggregates (COUNT/SUM/AVG/MIN/MAX) over
+// the matched rows — the one-row summaries verification queries use.
+func aggregate(env *colEnv, rows [][]sqlval.Value, items []sqlparser.SelectItem) (*sqlengine.Result, error) {
+	res := &sqlengine.Result{}
+	out := make([]sqlval.Value, len(items))
+	for i, it := range items {
+		fc, ok := it.Expr.(*sqlparser.FuncCall)
+		if !ok {
+			return nil, fmt.Errorf("%w: mixing aggregates with plain columns", ErrUnsupported)
+		}
+		name := it.Alias
+		if name == "" {
+			name = fc.Name
+		}
+		res.Columns = append(res.Columns, sqlengine.ResultCol{Name: name})
+		if fc.Name == "COUNT" && fc.Star {
+			out[i] = sqlval.Int(int64(len(rows)))
+			continue
+		}
+		if len(fc.Args) != 1 {
+			return nil, fmt.Errorf("%w: %s with %d args", ErrUnsupported, fc.Name, len(fc.Args))
+		}
+		var sum float64
+		var count int64
+		var best sqlval.Value
+		for _, row := range rows {
+			v, err := evalExpr(env, row, fc.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			count++
+			if f, ok := v.AsFloat(); ok {
+				sum += f
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			c := sqlval.SortCompare(v, best)
+			if (fc.Name == "MIN" && c < 0) || (fc.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		switch fc.Name {
+		case "COUNT":
+			out[i] = sqlval.Int(count)
+		case "SUM":
+			if count == 0 {
+				out[i] = sqlval.Null()
+			} else {
+				out[i] = sqlval.Float(sum)
+			}
+		case "AVG":
+			if count == 0 {
+				out[i] = sqlval.Null()
+			} else {
+				out[i] = sqlval.Float(sum / float64(count))
+			}
+		case "MIN", "MAX":
+			out[i] = best
+		default:
+			return nil, fmt.Errorf("%w: function %s", ErrUnsupported, fc.Name)
+		}
+	}
+	res.Rows = append(res.Rows, out)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package csvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"msql/internal/backend"
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlparser"
+)
+
+// Tx is one copy-on-write transaction. Reads see the committed images
+// plus this transaction's own staged writes; Commit swaps staged table
+// images into the store (and rewrites their CSV files) under the store
+// lock, last writer wins. There is no prepare support and no locking —
+// the honesty of COMMITMODE COMMIT.
+type Tx struct {
+	s *Store
+	// staged maps db -> table -> staged image; a nil image is a staged
+	// DROP TABLE.
+	staged map[string]map[string]*table
+	done   bool
+}
+
+// Begin implements backend.Backend.
+func (s *Store) Begin() backend.Tx {
+	return &Tx{s: s, staged: make(map[string]map[string]*table)}
+}
+
+// read returns the table image this transaction sees.
+func (t *Tx) read(db, name string) (*table, error) {
+	if m, ok := t.staged[db]; ok {
+		if img, ok := m[name]; ok {
+			if img == nil {
+				return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, db, name)
+			}
+			return img, nil
+		}
+	}
+	return t.s.lookup(db, name)
+}
+
+// write returns a mutable staged copy of the table, staging it on first
+// touch.
+func (t *Tx) write(db, name string) (*table, error) {
+	if m, ok := t.staged[db]; ok {
+		if img, ok := m[name]; ok {
+			if img == nil {
+				return nil, fmt.Errorf("%w: %s.%s", relstore.ErrNoTable, db, name)
+			}
+			return img, nil
+		}
+	}
+	committed, err := t.s.lookup(db, name)
+	if err != nil {
+		return nil, err
+	}
+	img := committed.clone()
+	t.stage(db, name, img)
+	return img, nil
+}
+
+func (t *Tx) stage(db, name string, img *table) {
+	m, ok := t.staged[db]
+	if !ok {
+		m = make(map[string]*table)
+		t.staged[db] = m
+	}
+	m[name] = img
+}
+
+// Exec implements backend.Tx; see exec.go for the statement surface.
+func (t *Tx) Exec(db, sql string, stmt sqlparser.Statement) (*sqlengine.Result, error) {
+	if t.done {
+		return nil, fmt.Errorf("csvstore: transaction already finished")
+	}
+	return t.exec(db, stmt)
+}
+
+// Describe implements backend.Tx.
+func (t *Tx) Describe(db, name string) ([]relstore.Column, error) {
+	img, err := t.read(db, name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]relstore.Column(nil), img.cols...), nil
+}
+
+// Prepare implements backend.Tx: the engine cannot hold a
+// prepared-to-commit state. A correctly incorporated csvstore site
+// (COMMITMODE COMMIT) never receives this call; the error is the
+// backstop for misdeclared profiles.
+func (t *Tx) Prepare() error { return ErrNoPrepare }
+
+// Commit publishes the staged table images and rewrites their files.
+func (t *Tx) Commit() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for db, m := range t.staged {
+		d, ok := s.dbs[db]
+		if !ok {
+			return fmt.Errorf("%w: %s", relstore.ErrNoDatabase, db)
+		}
+		for name, img := range m {
+			if img == nil {
+				delete(d.tables, name)
+			} else {
+				d.tables[name] = img
+			}
+			if s.dir == "" {
+				continue
+			}
+			path := filepath.Join(s.dir, db, name+".csv")
+			if img == nil {
+				if err := removeFile(path); err != nil {
+					return err
+				}
+			} else if err := writeTable(path, img); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rollback discards the staged writes.
+func (t *Tx) Rollback() error {
+	t.done = true
+	t.staged = nil
+	return nil
+}
+
+// SetLockTimeout implements backend.Tx; the engine takes no locks.
+func (t *Tx) SetLockTimeout(time.Duration) {}

@@ -296,76 +296,111 @@ func (e *Engine) RunLogged(ctx context.Context, prog *dol.Program, log TxLog) (*
 	return r.out, nil
 }
 
+// recoverParallelism bounds how many in-doubt participants a recovery
+// sweep contacts concurrently. Serial sweeps do not scale past the
+// three-site demo: at a 50-site fan-out one dead participant's full
+// backoff sequence would stall every site behind it, so sweeps fan out
+// bounded-parallel and the jittered RetryPolicy backoff decorrelates
+// the retry instants across sites.
+const recoverParallelism = 16
+
 // recoverInDoubt is the coordinator's bounded recovery loop: each
 // in-doubt participant is re-contacted (reconnect + wire.ReqAttach) and
 // driven to its recorded decision. Recovery runs on a fresh context — the
 // plan's deadline may already have expired, and delivering decisions for
 // prepared transactions must still be attempted — bounded instead by the
-// engine's Recovery policy and RecoverTimeout.
+// engine's Recovery policy and RecoverTimeout. Participants are
+// contacted in parallel (recoverParallelism at a time) so one
+// unreachable site's backoff does not serialize the rest of the sweep.
 func (r *run) recoverInDoubt() {
+	type pendingTask struct {
+		name string
+		rt   *taskRT
+	}
+	var pending []pendingTask
 	for name, rt := range r.tasks {
 		rt.mu.Lock()
-		pending := rt.info.Status == dol.StatusInDoubt && rt.recoverable
-		addr, id, commit := rt.recoverAddr, rt.recoverID, rt.recoverCommit
-		db, connName := rt.info.Database, rt.info.Conn
+		ok := rt.info.Status == dol.StatusInDoubt && rt.recoverable
 		rt.mu.Unlock()
-		if !pending {
-			continue
-		}
-		rsp, _ := obs.StartSpan(r.ctx, "resolve:"+name, obs.KindRecovery)
-		rsp.SetAttr("site", addr)
-		resolved := false
-		for attempt := 0; attempt <= r.eng.Recovery.Attempts; attempt++ {
-			if attempt > 0 {
-				time.Sleep(r.eng.Recovery.Backoff(attempt))
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), r.eng.RecoverTimeout)
-			st, err := r.eng.resolve(ctx, addr, id, commit)
-			cancel()
-			if err != nil {
-				if errors.Is(err, wire.ErrNoSession) {
-					// Termination protocol: a participant with no record of
-					// the session either never voted or was acknowledged and
-					// forgot. The recorded decision is the definite outcome —
-					// presumed abort when it was rollback.
-					st = ldbms.StateAborted
-					if commit {
-						st = ldbms.StateCommitted
-					}
-				} else if wire.Transient(err) {
-					// Connection refused while the participant restarts (and
-					// its transport kin) — keep trying under the policy.
-					continue
-				} else {
-					break
-				}
-			}
-			if st == ldbms.StateCommitted {
-				rt.setStatus(dol.StatusCommitted, nil)
-			} else {
-				rt.setStatus(dol.StatusAborted, nil)
-			}
-			r.logOutcome(rt)
-			resolved = true
-			break
-		}
-		rt.mu.Lock()
-		enteredAt := rt.inDoubtAt
-		rt.mu.Unlock()
-		if resolved {
-			if !enteredAt.IsZero() {
-				mInDoubtDwell.ObserveSince(enteredAt)
-			}
-			rsp.End()
-		} else {
-			mInDoubtUnresolved.Inc()
-			rsp.EndErr(fmt.Errorf("dolengine: participant unreachable"))
-			r.out.Unresolved = append(r.out.Unresolved, InDoubt{
-				Task: name, Conn: connName, Database: db,
-				Addr: addr, SessionID: id, Commit: commit,
-			})
+		if ok {
+			pending = append(pending, pendingTask{name: name, rt: rt})
 		}
 	}
+	if len(pending) == 0 {
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, recoverParallelism)
+		outMu sync.Mutex
+	)
+	for _, p := range pending {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(name string, rt *taskRT) {
+			defer func() { <-sem; wg.Done() }()
+			rt.mu.Lock()
+			addr, id, commit := rt.recoverAddr, rt.recoverID, rt.recoverCommit
+			db, connName := rt.info.Database, rt.info.Conn
+			rt.mu.Unlock()
+			rsp, _ := obs.StartSpan(r.ctx, "resolve:"+name, obs.KindRecovery)
+			rsp.SetAttr("site", addr)
+			resolved := false
+			for attempt := 0; attempt <= r.eng.Recovery.Attempts; attempt++ {
+				if attempt > 0 {
+					time.Sleep(r.eng.Recovery.Backoff(attempt))
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), r.eng.RecoverTimeout)
+				st, err := r.eng.resolve(ctx, addr, id, commit)
+				cancel()
+				if err != nil {
+					if errors.Is(err, wire.ErrNoSession) {
+						// Termination protocol: a participant with no record of
+						// the session either never voted or was acknowledged and
+						// forgot. The recorded decision is the definite outcome —
+						// presumed abort when it was rollback.
+						st = ldbms.StateAborted
+						if commit {
+							st = ldbms.StateCommitted
+						}
+					} else if wire.Transient(err) {
+						// Connection refused while the participant restarts (and
+						// its transport kin) — keep trying under the policy.
+						continue
+					} else {
+						break
+					}
+				}
+				if st == ldbms.StateCommitted {
+					rt.setStatus(dol.StatusCommitted, nil)
+				} else {
+					rt.setStatus(dol.StatusAborted, nil)
+				}
+				r.logOutcome(rt)
+				resolved = true
+				break
+			}
+			rt.mu.Lock()
+			enteredAt := rt.inDoubtAt
+			rt.mu.Unlock()
+			if resolved {
+				if !enteredAt.IsZero() {
+					mInDoubtDwell.ObserveSince(enteredAt)
+				}
+				rsp.End()
+			} else {
+				mInDoubtUnresolved.Inc()
+				rsp.EndErr(fmt.Errorf("dolengine: participant unreachable"))
+				outMu.Lock()
+				r.out.Unresolved = append(r.out.Unresolved, InDoubt{
+					Task: name, Conn: connName, Database: db,
+					Addr: addr, SessionID: id, Commit: commit,
+				})
+				outMu.Unlock()
+			}
+		}(p.name, p.rt)
+	}
+	wg.Wait()
 }
 
 // recoveryOf extracts the in-doubt recovery handle of a session, looking

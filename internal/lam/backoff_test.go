@@ -1,0 +1,68 @@
+package lam
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the equal-jitter envelope: every sample
+// must land in [d/2, 3d/2) around the deterministic exponential delay.
+// Fleet-wide recovery sweeps (50+ sites restarting together) rely on
+// this spread to avoid retrying in lockstep.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, BaseDelay: 40 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+	for attempt := 1; attempt <= 5; attempt++ {
+		base := 40 * time.Millisecond
+		for i := 1; i < attempt; i++ {
+			base *= 2
+			if base >= p.MaxDelay {
+				base = p.MaxDelay
+				break
+			}
+		}
+		lo, hi := base/2, base+base/2
+		for i := 0; i < 200; i++ {
+			d := p.Backoff(attempt)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d: Backoff = %v, want in [%v, %v)", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffJitterSpread asserts the samples are actually spread out,
+// not a constant: a fleet of recovering coordinators sampling the same
+// attempt must not collapse onto one retry instant.
+func TestBackoffJitterSpread(t *testing.T) {
+	p := DefaultRetry()
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 100; i++ {
+		seen[p.Backoff(2)] = true
+	}
+	// 100 draws over a 50ms-wide nanosecond-granular window: even a
+	// heavily quantized RNG should produce far more than 10 values.
+	if len(seen) < 10 {
+		t.Fatalf("100 jittered backoffs produced only %d distinct values — retries would sync in lockstep", len(seen))
+	}
+}
+
+// TestBackoffCapsAtMaxDelay verifies the exponential growth clamps: a
+// large attempt number must not overflow past MaxDelay's jitter band.
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	p := RetryPolicy{Attempts: 30, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := p.Backoff(30)
+		if d >= p.MaxDelay+p.MaxDelay/2 {
+			t.Fatalf("Backoff(30) = %v, want < %v", d, p.MaxDelay+p.MaxDelay/2)
+		}
+	}
+}
+
+// TestBackoffZeroValueDefaults: a zero BaseDelay falls back to a sane
+// default instead of hot-looping.
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var p RetryPolicy
+	if d := p.Backoff(1); d <= 0 {
+		t.Fatalf("zero-value Backoff = %v, want > 0", d)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"msql/internal/backend"
+	"msql/internal/relbackend"
 	"msql/internal/relstore"
 )
 
@@ -25,11 +27,15 @@ type Stats struct {
 	Prepares      int64
 }
 
-// Server simulates one local DBMS product instance.
+// Server simulates one local DBMS product instance. The storage engine
+// behind it is pluggable (see internal/backend): the capability profile
+// is the only thing the federation above ever observes, exactly as the
+// paper's multidatabase layer sees products through their INCORPORATE
+// declarations rather than their internals.
 type Server struct {
 	name    string
 	profile Profile
-	store   *relstore.Store
+	be      backend.Backend
 	faults  *FaultInjector
 
 	mu        sync.Mutex
@@ -38,8 +44,9 @@ type Server struct {
 	latency   time.Duration
 }
 
-// NewServer creates a server with the given capability profile. seed
-// drives probabilistic fault injection.
+// NewServer creates a server with the given capability profile over a
+// fresh in-memory relstore engine. seed drives probabilistic fault
+// injection.
 func NewServer(name string, profile Profile, seed int64) *Server {
 	return NewServerWith(name, profile, seed, relstore.NewStore())
 }
@@ -50,35 +57,39 @@ func NewServer(name string, profile Profile, seed int64) *Server {
 // survived a restart are adopted: the first (alphabetically) becomes the
 // NOCONNECT default database.
 func NewServerWith(name string, profile Profile, seed int64, store *relstore.Store) *Server {
+	return NewServerOn(name, profile, seed, relbackend.New(store))
+}
+
+// NewServerOn creates a server over an arbitrary storage backend — the
+// seam heterogeneous-fleet topologies use to mix genuinely different
+// engines (relstore, csvstore) behind the uniform profile surface.
+// Databases that survived a restart are adopted: the first becomes the
+// NOCONNECT default database.
+func NewServerOn(name string, profile Profile, seed int64, be backend.Backend) *Server {
 	s := &Server{
 		name:    name,
 		profile: profile.Clone(),
-		store:   store,
+		be:      be,
 		faults:  NewFaultInjector(seed),
 	}
-	if names := store.DatabaseNames(); len(names) > 0 {
+	if names := be.DatabaseNames(); len(names) > 0 {
 		s.defaultDB = names[0]
 	}
 	return s
 }
 
-// checkpoint makes committed state durable on disk-backed stores; it is
-// a no-op for memory-backed ones.
+// checkpoint makes committed state durable on durable backends; it is a
+// no-op for memory-backed ones.
 func (s *Server) checkpoint() error {
-	if s.store.Dir() == "" {
+	if !s.be.Durable() {
 		return nil
 	}
-	return s.store.Checkpoint()
+	return s.be.Checkpoint()
 }
 
-// Close checkpoints and releases a disk-backed store. Memory-backed
-// servers have nothing to release.
-func (s *Server) Close() error {
-	if s.store.Dir() == "" {
-		return nil
-	}
-	return s.store.Close()
-}
+// Close checkpoints and releases the storage backend. Memory-backed
+// engines have nothing to release.
+func (s *Server) Close() error { return s.be.Close() }
 
 // Name returns the service name.
 func (s *Server) Name() string { return s.name }
@@ -86,8 +97,18 @@ func (s *Server) Name() string { return s.name }
 // Profile returns the server's capability profile.
 func (s *Server) Profile() Profile { return s.profile.Clone() }
 
-// Store exposes the underlying storage for bootstrap and inspection.
-func (s *Server) Store() *relstore.Store { return s.store }
+// Backend exposes the storage engine behind the server.
+func (s *Server) Backend() backend.Backend { return s.be }
+
+// Store exposes the underlying relstore for bootstrap and inspection
+// (snapshot Load/Save). It returns nil for servers on non-relstore
+// backends, which have no snapshot surface.
+func (s *Server) Store() *relstore.Store {
+	if rb, ok := s.be.(interface{ Store() *relstore.Store }); ok {
+		return rb.Store()
+	}
+	return nil
+}
 
 // Faults exposes the fault injector.
 func (s *Server) Faults() *FaultInjector { return s.faults }
@@ -114,7 +135,7 @@ func (s *Server) CreateDatabase(name string) error {
 	if !s.profile.MultiDatabase && s.defaultDB != "" && s.defaultDB != name {
 		return fmt.Errorf("%w (default %q)", ErrNoConnect, s.defaultDB)
 	}
-	if err := s.store.CreateDatabase(name); err != nil {
+	if err := s.be.CreateDatabase(name); err != nil {
 		return err
 	}
 	if s.defaultDB == "" {
@@ -131,7 +152,7 @@ func (s *Server) DefaultDatabase() string {
 }
 
 // Databases lists the databases hosted by the server.
-func (s *Server) Databases() []string { return s.store.DatabaseNames() }
+func (s *Server) Databases() []string { return s.be.DatabaseNames() }
 
 // OpenSession connects to a database. On NOCONNECT servers db may be
 // empty or must equal the default database.
@@ -148,8 +169,8 @@ func (s *Server) OpenSession(db string) (*Session, error) {
 			return nil, fmt.Errorf("%w: cannot connect to %q (default %q)", ErrNoConnect, db, defaultDB)
 		}
 	}
-	if _, err := s.store.Database(db); err != nil {
-		return nil, err
+	if !s.be.HasDatabase(db) {
+		return nil, fmt.Errorf("%w: %s", relstore.ErrNoDatabase, db)
 	}
 	return &Session{srv: s, db: db}, nil
 }

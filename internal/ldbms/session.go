@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"msql/internal/backend"
 	"msql/internal/relstore"
 	"msql/internal/sqlengine"
 	"msql/internal/sqlparser"
@@ -49,7 +50,7 @@ type Session struct {
 	db  string
 
 	mu          sync.Mutex
-	tx          *relstore.Tx
+	tx          backend.Tx
 	state       SessionState
 	lockTimeout time.Duration
 	// redo holds the effect-bearing SQL of the open transaction in
@@ -77,10 +78,10 @@ func (s *Session) SetLockTimeout(d time.Duration) {
 	s.lockTimeout = d
 }
 
-func (s *Session) beginLocked() *relstore.Tx {
-	tx := s.srv.store.Begin()
+func (s *Session) beginLocked() backend.Tx {
+	tx := s.srv.be.Begin()
 	if s.lockTimeout > 0 {
-		tx.LockTimeout = s.lockTimeout
+		tx.SetLockTimeout(s.lockTimeout)
 	}
 	s.tx = tx
 	s.state = StateActive
@@ -138,7 +139,7 @@ func (s *Session) execStmt(sql string, stmt sqlparser.Statement) (*sqlengine.Res
 		s.beginLocked()
 	}
 	s.srv.bump(func(st *Stats) { st.Execs++ })
-	res, err := sqlengine.Execute(s.tx, s.db, stmt)
+	res, err := s.tx.Exec(s.db, sql, stmt)
 	if err != nil {
 		s.abortLocked()
 		return nil, err
@@ -250,10 +251,10 @@ func (s *Session) Describe(name string) ([]relstore.Column, error) {
 	tx := s.tx
 	temp := false
 	if tx == nil {
-		tx = s.srv.store.Begin()
+		tx = s.srv.be.Begin()
 		temp = true
 	}
-	cols, err := sqlengine.DescribeTable(tx, s.db, name)
+	cols, err := tx.Describe(s.db, name)
 	if temp {
 		_ = tx.Rollback()
 	}
@@ -262,18 +263,10 @@ func (s *Session) Describe(name string) ([]relstore.Column, error) {
 
 // ListTables returns the table names of the connected database.
 func (s *Session) ListTables() ([]string, error) {
-	d, err := s.srv.store.Database(s.db)
-	if err != nil {
-		return nil, err
-	}
-	return d.TableNames(), nil
+	return s.srv.be.ListTables(s.db)
 }
 
 // ListViews returns the view names of the connected database.
 func (s *Session) ListViews() ([]string, error) {
-	d, err := s.srv.store.Database(s.db)
-	if err != nil {
-		return nil, err
-	}
-	return d.ViewNames(), nil
+	return s.srv.be.ListViews(s.db)
 }

@@ -1,0 +1,109 @@
+// Package relbackend adapts the relstore/sqlengine pair to the
+// backend.Backend seam. It is the full-capability engine of the
+// federation: slotted heap pages with a buffer pool underneath, strict
+// 2PL with undo-based rollback, and a real prepared-to-commit state —
+// the stand-in for the paper's Oracle/Ingres/Sybase products whose
+// COMMITMODE NOCOMMIT profiles expose a user-controlled 2PC interface.
+package relbackend
+
+import (
+	"time"
+
+	"msql/internal/backend"
+	"msql/internal/relstore"
+	"msql/internal/sqlengine"
+	"msql/internal/sqlparser"
+)
+
+// Backend wraps a relstore.Store (memory- or disk-backed).
+type Backend struct {
+	store *relstore.Store
+}
+
+// New adapts an existing store — typically relstore.NewStore() for
+// memory or relstore.Open(Options{Dir: ...}) for disk persistence.
+func New(store *relstore.Store) *Backend { return &Backend{store: store} }
+
+// Store exposes the underlying relstore for bootstrap (snapshot
+// load/save) and inspection. ldbms.Server.Store discovers it through
+// this method.
+func (b *Backend) Store() *relstore.Store { return b.store }
+
+// CreateDatabase implements backend.Backend.
+func (b *Backend) CreateDatabase(name string) error { return b.store.CreateDatabase(name) }
+
+// DatabaseNames implements backend.Backend.
+func (b *Backend) DatabaseNames() []string { return b.store.DatabaseNames() }
+
+// HasDatabase implements backend.Backend.
+func (b *Backend) HasDatabase(name string) bool {
+	_, err := b.store.Database(name)
+	return err == nil
+}
+
+// ListTables implements backend.Backend.
+func (b *Backend) ListTables(db string) ([]string, error) {
+	d, err := b.store.Database(db)
+	if err != nil {
+		return nil, err
+	}
+	return d.TableNames(), nil
+}
+
+// ListViews implements backend.Backend.
+func (b *Backend) ListViews(db string) ([]string, error) {
+	d, err := b.store.Database(db)
+	if err != nil {
+		return nil, err
+	}
+	return d.ViewNames(), nil
+}
+
+// Begin implements backend.Backend.
+func (b *Backend) Begin() backend.Tx { return &Tx{tx: b.store.Begin()} }
+
+// Durable reports whether the store writes through to a data directory.
+func (b *Backend) Durable() bool { return b.store.Dir() != "" }
+
+// Checkpoint implements backend.Backend.
+func (b *Backend) Checkpoint() error {
+	if !b.Durable() {
+		return nil
+	}
+	return b.store.Checkpoint()
+}
+
+// Close implements backend.Backend.
+func (b *Backend) Close() error {
+	if !b.Durable() {
+		return nil
+	}
+	return b.store.Close()
+}
+
+// Tx adapts relstore.Tx + sqlengine to backend.Tx.
+type Tx struct {
+	tx *relstore.Tx
+}
+
+// Exec implements backend.Tx by delegating to the full SQL engine.
+func (t *Tx) Exec(db, sql string, stmt sqlparser.Statement) (*sqlengine.Result, error) {
+	return sqlengine.Execute(t.tx, db, stmt)
+}
+
+// Describe implements backend.Tx.
+func (t *Tx) Describe(db, name string) ([]relstore.Column, error) {
+	return sqlengine.DescribeTable(t.tx, db, name)
+}
+
+// Prepare implements backend.Tx.
+func (t *Tx) Prepare() error { return t.tx.Prepare() }
+
+// Commit implements backend.Tx.
+func (t *Tx) Commit() error { return t.tx.Commit() }
+
+// Rollback implements backend.Tx.
+func (t *Tx) Rollback() error { return t.tx.Rollback() }
+
+// SetLockTimeout implements backend.Tx.
+func (t *Tx) SetLockTimeout(d time.Duration) { t.tx.LockTimeout = d }

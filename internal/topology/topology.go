@@ -1,0 +1,376 @@
+// Package topology generates reproducible mixed-capability LAM fleets
+// for scale and chaos testing. A Spec (site count, backend mix, seed)
+// deterministically expands into a Plan: per-site service names,
+// databases, storage backends (the full relstore engine or the
+// flat-file csv store), capability profiles (Oracle-like two-phase,
+// Ingres-like DDL-autocommit, autocommit-only), assigned imported
+// tables, and bootstrap SQL. The same seed always yields the same
+// fleet, so a failing 50-site scenario replays exactly.
+//
+// A Plan is independent of how its sites are served: Launch stands the
+// whole fleet up in-process (one lam TCP server per site, each with its
+// own participant journal), while chaos tests can carve out victim
+// sites and serve them as crash-test child processes from the same
+// SiteSpec. Script emits the INCORPORATE SERVICE / IMPORT DATABASE
+// scenario script and Units generates deterministic mixed-capability
+// multitransaction workloads over the fleet.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"msql/internal/csvstore"
+	"msql/internal/lam"
+	"msql/internal/ldbms"
+	"msql/internal/mtlog"
+)
+
+// durationMS converts a millisecond count, zero staying zero (server
+// default).
+func durationMS(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// Backend and profile names used in SiteSpec (the same vocabulary the
+// chaos child Config speaks).
+const (
+	BackendRel = "rel"
+	BackendCSV = "csv"
+
+	ProfileOracle     = "oracle"
+	ProfileIngres     = "ingres"
+	ProfileAutoCommit = "autocommit"
+)
+
+// Spec describes the fleet to generate. The zero value is usable:
+// defaults fill in below.
+type Spec struct {
+	// Sites is the number of LAM sites (default 12, minimum 4).
+	Sites int
+	// Seed makes the generation deterministic; the same seed and spec
+	// always produce the same plan (default 1).
+	Seed int64
+	// CSVFraction is the fraction of sites on the csv backend with the
+	// autocommit-only profile (default 0.25).
+	CSVFraction float64
+	// IngresFraction is the fraction of sites on the rel backend with
+	// the Ingres-like profile — DDL autocommits (default 0.25). The
+	// remainder run the Oracle-like full-2PC profile.
+	IngresFraction float64
+	// RowsPerTable seeds each table with that many rows (default 4).
+	RowsPerTable int
+	// TombstoneTTLMS and CompactEvery configure the in-process LAM
+	// servers' tombstone eviction and journal compaction (zero = server
+	// defaults, except CompactEvery which defaults to 1 so journals
+	// drain promptly in tests).
+	TombstoneTTLMS int
+	CompactEvery   int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Sites <= 0 {
+		s.Sites = 12
+	}
+	if s.Sites < 4 {
+		s.Sites = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.CSVFraction <= 0 {
+		s.CSVFraction = 0.25
+	}
+	if s.IngresFraction <= 0 {
+		s.IngresFraction = 0.25
+	}
+	if s.RowsPerTable <= 0 {
+		s.RowsPerTable = 4
+	}
+	if s.CompactEvery <= 0 {
+		s.CompactEvery = 1
+	}
+	return s
+}
+
+// SiteSpec is one generated site, decoupled from how it is served.
+type SiteSpec struct {
+	Index   int
+	Service string // svc_t00, svc_t01, ...
+	DB      string // db00, db01, ...
+	Backend string // BackendRel or BackendCSV
+	Profile string // ProfileOracle, ProfileIngres, or ProfileAutoCommit
+	// AutoCommitOnly marks a site without a prepare interface; the
+	// scenario script incorporates it COMMITMODE COMMIT and vital
+	// workload entries on it carry compensation.
+	AutoCommitOnly bool
+	// Tables are the imported tables assigned to this site. Every site
+	// carries "acct"; even-indexed sites also carry "orders", so
+	// multitable queries exercise pertinence skipping.
+	Tables []string
+	// Boot is the bootstrap SQL establishing the deterministic base
+	// state (the same statements a chaos child would run).
+	Boot []string
+}
+
+// LDBMSProfile returns the capability profile the spec names.
+func (s SiteSpec) LDBMSProfile() ldbms.Profile {
+	switch s.Profile {
+	case ProfileIngres:
+		return ldbms.ProfileIngresLike()
+	case ProfileAutoCommit:
+		return ldbms.ProfileAutoCommitOnly()
+	default:
+		return ldbms.ProfileOracleLike()
+	}
+}
+
+// Plan is a generated fleet layout.
+type Plan struct {
+	Spec  Spec
+	Sites []SiteSpec
+}
+
+// Generate deterministically expands a Spec into a Plan. Backends are
+// assigned by a seeded shuffle: round(Sites*CSVFraction) csv sites,
+// round(Sites*IngresFraction) Ingres-like sites, Oracle-like remainder.
+func Generate(spec Spec) *Plan {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nCSV := int(float64(spec.Sites)*spec.CSVFraction + 0.5)
+	nIng := int(float64(spec.Sites)*spec.IngresFraction + 0.5)
+	if nCSV < 1 {
+		nCSV = 1
+	}
+	if nIng < 1 {
+		nIng = 1
+	}
+	if nCSV+nIng >= spec.Sites {
+		nIng = spec.Sites - nCSV - 1
+		if nIng < 0 {
+			nIng = 0
+		}
+	}
+	perm := rng.Perm(spec.Sites)
+	kind := make([]string, spec.Sites) // profile name per index
+	for i, idx := range perm {
+		switch {
+		case i < nCSV:
+			kind[idx] = ProfileAutoCommit
+		case i < nCSV+nIng:
+			kind[idx] = ProfileIngres
+		default:
+			kind[idx] = ProfileOracle
+		}
+	}
+	p := &Plan{Spec: spec}
+	for i := 0; i < spec.Sites; i++ {
+		s := SiteSpec{
+			Index:   i,
+			Service: fmt.Sprintf("svc_t%02d", i),
+			DB:      fmt.Sprintf("db%02d", i),
+			Profile: kind[i],
+			Backend: BackendRel,
+		}
+		if s.Profile == ProfileAutoCommit {
+			s.Backend = BackendCSV
+			s.AutoCommitOnly = true
+		}
+		s.Tables = []string{"acct"}
+		if i%2 == 0 {
+			s.Tables = append(s.Tables, "orders")
+		}
+		s.Boot = bootSQL(s.Tables, spec.RowsPerTable)
+		p.Sites = append(p.Sites, s)
+	}
+	return p
+}
+
+// bootSQL builds the deterministic base state for a site.
+func bootSQL(tables []string, rows int) []string {
+	var boot []string
+	for _, tbl := range tables {
+		boot = append(boot, fmt.Sprintf(
+			"CREATE TABLE %s (id INTEGER, owner CHAR(16), bal FLOAT)", tbl))
+		for r := 1; r <= rows; r++ {
+			boot = append(boot, fmt.Sprintf(
+				"INSERT INTO %s VALUES (%d, 'seed%d', 100.0)", tbl, r, r))
+		}
+	}
+	return boot
+}
+
+// Site finds a site spec by service name, nil when absent.
+func (p *Plan) Site(service string) *SiteSpec {
+	for i := range p.Sites {
+		if p.Sites[i].Service == service {
+			return &p.Sites[i]
+		}
+	}
+	return nil
+}
+
+// Script emits the scenario script that federates the fleet: one
+// INCORPORATE SERVICE (COMMITMODE COMMIT for autocommit-only sites,
+// NOCOMMIT otherwise — the capability check rejects anything else) and
+// one IMPORT DATABASE per site. addr maps a site to its listen address;
+// sites it returns "" for are omitted.
+func (p *Plan) Script(addr func(SiteSpec) string) string {
+	var b strings.Builder
+	for _, s := range p.Sites {
+		a := addr(s)
+		if a == "" {
+			continue
+		}
+		mode := "NOCOMMIT"
+		if s.AutoCommitOnly {
+			mode = "COMMIT"
+		}
+		fmt.Fprintf(&b, "INCORPORATE SERVICE %s SITE '%s' CONNECTMODE CONNECT COMMITMODE %s;\n",
+			s.Service, a, mode)
+		fmt.Fprintf(&b, "IMPORT DATABASE %s FROM SERVICE %s;\n", s.DB, s.Service)
+	}
+	return b.String()
+}
+
+// Site is one served fleet member: its spec, the in-process server, and
+// the TCP listener journaling prepared sessions to JournalPath.
+type Site struct {
+	Spec        SiteSpec
+	Server      *ldbms.Server
+	TCP         *lam.TCPServer
+	JournalPath string
+}
+
+// Addr is the site's listen address.
+func (s *Site) Addr() string { return s.TCP.Addr() }
+
+// RowCount counts the acct rows with the given id, asking the
+// in-process server directly — the ground truth for atomicity checks
+// (0 = no effect, 1 = applied exactly once, >1 = double-applied).
+func (s *Site) RowCount(id int) (int, error) {
+	sess, err := s.Server.OpenSession(s.Spec.DB)
+	if err != nil {
+		return 0, err
+	}
+	defer sess.Close()
+	res, err := sess.Exec(fmt.Sprintf("SELECT id FROM acct WHERE id = %d", id))
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+// Fleet is a plan served in-process: one LAM TCP server per site, each
+// with its own participant journal under the launch directory.
+type Fleet struct {
+	Plan  *Plan
+	Sites []*Site
+}
+
+// Launch stands the plan up in-process. Each site gets its backend (an
+// in-memory relstore or csv store), runs its bootstrap SQL, and serves
+// on an ephemeral loopback port with a participant journal at
+// <dir>/<service>.journal. Site indices listed in skip are omitted —
+// chaos tests serve those as crash-test child processes from the same
+// SiteSpec instead.
+func (p *Plan) Launch(dir string, skip ...int) (*Fleet, error) {
+	skipped := make(map[int]bool, len(skip))
+	for _, i := range skip {
+		skipped[i] = true
+	}
+	f := &Fleet{Plan: p}
+	for _, spec := range p.Sites {
+		if skipped[spec.Index] {
+			continue
+		}
+		site, err := launchSite(dir, spec, p.Spec)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("topology: site %s: %w", spec.Service, err)
+		}
+		f.Sites = append(f.Sites, site)
+	}
+	return f, nil
+}
+
+func launchSite(dir string, spec SiteSpec, fs Spec) (*Site, error) {
+	var srv *ldbms.Server
+	if spec.Backend == BackendCSV {
+		cs, err := csvstore.Open("")
+		if err != nil {
+			return nil, err
+		}
+		srv = ldbms.NewServerOn(spec.Service, spec.LDBMSProfile(), int64(spec.Index)+1, cs)
+	} else {
+		srv = ldbms.NewServer(spec.Service, spec.LDBMSProfile(), int64(spec.Index)+1)
+	}
+	if err := srv.CreateDatabase(spec.DB); err != nil {
+		return nil, err
+	}
+	sess, err := srv.OpenSession(spec.DB)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range spec.Boot {
+		if _, err := sess.Exec(q); err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("boot %q: %w", q, err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	sess.Close()
+
+	jp := filepath.Join(dir, spec.Service+".journal")
+	j, err := mtlog.OpenParticipant(jp)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := lam.ServeWith("127.0.0.1:0", srv, lam.ServeOptions{
+		Journal:      j,
+		TombstoneTTL: durationMS(fs.TombstoneTTLMS),
+		CompactEvery: fs.CompactEvery,
+	})
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Site{Spec: spec, Server: srv, TCP: ts, JournalPath: jp}, nil
+}
+
+// Close shuts every site down (listener first, then the server).
+func (f *Fleet) Close() {
+	for _, s := range f.Sites {
+		if s.TCP != nil {
+			s.TCP.Close()
+		}
+		if s.Server != nil {
+			s.Server.Close()
+		}
+	}
+}
+
+// Site finds a served site by service name, nil when absent.
+func (f *Fleet) Site(service string) *Site {
+	for _, s := range f.Sites {
+		if s.Spec.Service == service {
+			return s
+		}
+	}
+	return nil
+}
+
+// Script emits the fleet's scenario script using each site's live
+// listen address.
+func (f *Fleet) Script() string {
+	return f.Plan.Script(func(spec SiteSpec) string {
+		if s := f.Site(spec.Service); s != nil {
+			return s.Addr()
+		}
+		return ""
+	})
+}
